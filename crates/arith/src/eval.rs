@@ -1,0 +1,256 @@
+//! Evaluation of symbolic expressions under variable bindings.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use crate::expr::{ArithExpr, Name};
+
+/// An environment supplying integer values for variables.
+///
+/// Implemented by [`Bindings`] and by closures via the blanket impl for
+/// `Fn(&str) -> Option<i64>`.
+pub trait ArithEnv {
+    /// Looks up the value bound to `name`, if any.
+    fn lookup(&self, name: &str) -> Option<i64>;
+}
+
+impl<F: Fn(&str) -> Option<i64>> ArithEnv for F {
+    fn lookup(&self, name: &str) -> Option<i64> {
+        self(name)
+    }
+}
+
+/// A simple map-backed [`ArithEnv`].
+///
+/// ```
+/// use lift_arith::{ArithExpr, Bindings};
+/// let env = Bindings::from_iter([("N", 16), ("M", 4)]);
+/// let e = ArithExpr::var("N") / ArithExpr::var("M");
+/// assert_eq!(e.eval(&env).unwrap(), 4);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Bindings {
+    map: HashMap<Name, i64>,
+}
+
+impl Bindings {
+    /// Creates an empty environment.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Binds `name` to `value`, returning the previous value if present.
+    pub fn set(&mut self, name: impl AsRef<str>, value: i64) -> Option<i64> {
+        self.map.insert(Name::from(name.as_ref()), value)
+    }
+
+    /// Returns the value bound to `name`.
+    pub fn get(&self, name: &str) -> Option<i64> {
+        self.map.get(name).copied()
+    }
+
+    /// Iterates over all `(name, value)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, i64)> {
+        self.map.iter().map(|(k, v)| (&**k, *v))
+    }
+
+    /// Number of bindings.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Returns `true` if no variables are bound.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+impl ArithEnv for Bindings {
+    fn lookup(&self, name: &str) -> Option<i64> {
+        self.get(name)
+    }
+}
+
+impl<S: AsRef<str>> FromIterator<(S, i64)> for Bindings {
+    fn from_iter<I: IntoIterator<Item = (S, i64)>>(iter: I) -> Self {
+        let mut b = Bindings::new();
+        for (k, v) in iter {
+            b.set(k, v);
+        }
+        b
+    }
+}
+
+impl<S: AsRef<str>> Extend<(S, i64)> for Bindings {
+    fn extend<I: IntoIterator<Item = (S, i64)>>(&mut self, iter: I) {
+        for (k, v) in iter {
+            self.set(k, v);
+        }
+    }
+}
+
+/// Error produced when [`ArithExpr::eval`] cannot compute a value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvalArithError {
+    /// A variable had no binding in the environment.
+    UnboundVariable(Name),
+    /// A division or remainder had divisor zero.
+    DivisionByZero(String),
+}
+
+impl fmt::Display for EvalArithError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalArithError::UnboundVariable(v) => write!(f, "unbound arithmetic variable `{v}`"),
+            EvalArithError::DivisionByZero(e) => write!(f, "division by zero in `{e}`"),
+        }
+    }
+}
+
+impl Error for EvalArithError {}
+
+impl ArithExpr {
+    /// Evaluates the expression under `env`.
+    ///
+    /// Division and remainder are Euclidean ([`i64::div_euclid`] /
+    /// [`i64::rem_euclid`]), which coincides with C semantics for the
+    /// non-negative operands produced by well-formed size and index
+    /// expressions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvalArithError::UnboundVariable`] if a variable is missing
+    /// from `env` and [`EvalArithError::DivisionByZero`] if a divisor
+    /// evaluates to zero.
+    pub fn eval(&self, env: &impl ArithEnv) -> Result<i64, EvalArithError> {
+        self.eval_dyn(&|n| env.lookup(n))
+    }
+
+    fn eval_dyn(&self, env: &dyn Fn(&str) -> Option<i64>) -> Result<i64, EvalArithError> {
+        match self {
+            ArithExpr::Cst(c) => Ok(*c),
+            ArithExpr::Var(v) => {
+                env(v).ok_or_else(|| EvalArithError::UnboundVariable(v.clone()))
+            }
+            ArithExpr::Sum(ts) => {
+                let mut acc = 0i64;
+                for t in ts {
+                    acc = acc.wrapping_add(t.eval_dyn(env)?);
+                }
+                Ok(acc)
+            }
+            ArithExpr::Prod(ts) => {
+                let mut acc = 1i64;
+                for t in ts {
+                    acc = acc.wrapping_mul(t.eval_dyn(env)?);
+                }
+                Ok(acc)
+            }
+            ArithExpr::Div(a, b) => {
+                let d = b.eval_dyn(env)?;
+                if d == 0 {
+                    return Err(EvalArithError::DivisionByZero(self.to_string()));
+                }
+                Ok(a.eval_dyn(env)?.div_euclid(d))
+            }
+            ArithExpr::Mod(a, b) => {
+                let d = b.eval_dyn(env)?;
+                if d == 0 {
+                    return Err(EvalArithError::DivisionByZero(self.to_string()));
+                }
+                Ok(a.eval_dyn(env)?.rem_euclid(d))
+            }
+            ArithExpr::Min(a, b) => Ok(a.eval_dyn(env)?.min(b.eval_dyn(env)?)),
+            ArithExpr::Max(a, b) => Ok(a.eval_dyn(env)?.max(b.eval_dyn(env)?)),
+        }
+    }
+
+    /// Evaluates the expression expecting all variables bound, returning a
+    /// `usize` and failing on negative results.
+    ///
+    /// Convenience for size expressions that are non-negative by
+    /// construction.
+    ///
+    /// # Errors
+    ///
+    /// As [`ArithExpr::eval`]; additionally maps negative results onto
+    /// [`EvalArithError::DivisionByZero`]-style errors is *not* done —
+    /// negative results panic, since a negative array size is a compiler
+    /// invariant violation, not an input error.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the evaluated value is negative.
+    pub fn eval_usize(&self, env: &impl ArithEnv) -> Result<usize, EvalArithError> {
+        let v = self.eval(env)?;
+        assert!(v >= 0, "size expression `{self}` evaluated to negative {v}");
+        Ok(v as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_basic() {
+        let env = Bindings::from_iter([("N", 10), ("M", 3)]);
+        let n = ArithExpr::var("N");
+        let m = ArithExpr::var("M");
+        assert_eq!((n.clone() + m.clone()).eval(&env).unwrap(), 13);
+        assert_eq!((n.clone() * m.clone()).eval(&env).unwrap(), 30);
+        assert_eq!((n.clone() / m.clone()).eval(&env).unwrap(), 3);
+        assert_eq!((n % m).eval(&env).unwrap(), 1);
+    }
+
+    #[test]
+    fn eval_euclidean() {
+        let env = Bindings::new();
+        let e = ArithExpr::from(-7) / ArithExpr::from(2);
+        assert_eq!(e.eval(&env).unwrap(), -4); // folded at construction
+    }
+
+    #[test]
+    fn eval_unbound() {
+        let env = Bindings::new();
+        let e = ArithExpr::var("N");
+        assert_eq!(
+            e.eval(&env),
+            Err(EvalArithError::UnboundVariable(Name::from("N")))
+        );
+    }
+
+    #[test]
+    fn eval_div_by_zero_reports_expr() {
+        let env = Bindings::from_iter([("N", 4), ("Z", 0)]);
+        let e = ArithExpr::Div(
+            Box::new(ArithExpr::var("N")),
+            Box::new(ArithExpr::var("Z")),
+        );
+        match e.eval(&env) {
+            Err(EvalArithError::DivisionByZero(s)) => assert!(s.contains('Z')),
+            other => panic!("expected division-by-zero error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn closures_are_envs() {
+        let e = ArithExpr::var("X") + 1;
+        let v = e.eval(&|n: &str| (n == "X").then_some(41)).unwrap();
+        assert_eq!(v, 42);
+    }
+
+    #[test]
+    fn eval_usize_ok() {
+        let env = Bindings::from_iter([("N", 5)]);
+        assert_eq!(ArithExpr::var("N").eval_usize(&env).unwrap(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "evaluated to negative")]
+    fn eval_usize_negative_panics() {
+        let env = Bindings::from_iter([("N", -5)]);
+        let _ = ArithExpr::var("N").eval_usize(&env);
+    }
+}

@@ -1,0 +1,36 @@
+//! Symbolic integer arithmetic for the Lift stencil compiler.
+//!
+//! Lift array types carry their sizes as *arithmetic expressions* over named
+//! variables (`N`, `N/4`, `N - size + step`, …). The type checker, the view
+//! system and the code generator all manipulate such expressions: they must be
+//! simplified into a canonical form so that structural equality coincides with
+//! semantic equality for the size algebra the compiler produces
+//! (e.g. `split(m) ∘ join` round-trips, `slide` output sizes, tile counts).
+//!
+//! The central type is [`ArithExpr`]; it is immutable and eagerly
+//! canonicalised by its smart constructors. Supporting modules provide
+//! [evaluation](ArithExpr::eval), [substitution](ArithExpr::substitute) and
+//! conservative [interval analysis](range).
+//!
+//! # Example
+//!
+//! ```
+//! use lift_arith::{ArithExpr, Bindings};
+//!
+//! let n = ArithExpr::var("N");
+//! // The number of neighbourhoods produced by `slide(3, 1)`:
+//! let count = n - ArithExpr::from(3) + ArithExpr::from(1);
+//! assert_eq!(count.to_string(), "N - 2");
+//! let env = Bindings::from_iter([("N", 10)]);
+//! assert_eq!(count.eval(&env).unwrap(), 8);
+//! ```
+
+mod eval;
+mod expr;
+pub mod range;
+
+pub use eval::{ArithEnv, Bindings, EvalArithError};
+pub use expr::{ArithExpr, Name};
+
+#[cfg(test)]
+mod prop_tests;

@@ -1,0 +1,165 @@
+//! Property tests: the simplifying constructors must preserve the value of
+//! every expression under every environment, and canonicalisation must be
+//! idempotent and congruent.
+
+use proptest::prelude::*;
+
+use crate::{ArithExpr, Bindings};
+
+/// A raw, never-simplified expression tree used as the semantic reference.
+#[derive(Debug, Clone)]
+enum Raw {
+    Cst(i64),
+    Var(u8),
+    Add(Box<Raw>, Box<Raw>),
+    Sub(Box<Raw>, Box<Raw>),
+    Mul(Box<Raw>, Box<Raw>),
+    Div(Box<Raw>, Box<Raw>),
+    Mod(Box<Raw>, Box<Raw>),
+    Min(Box<Raw>, Box<Raw>),
+    Max(Box<Raw>, Box<Raw>),
+}
+
+const VAR_NAMES: [&str; 4] = ["N", "M", "K", "P"];
+
+impl Raw {
+    /// Direct semantics, independent of the simplifier. Divisors are made
+    /// non-zero by the generator (they are `1 + |v|`-shaped).
+    fn eval(&self, env: &[i64; 4]) -> i64 {
+        match self {
+            Raw::Cst(c) => *c,
+            Raw::Var(i) => env[*i as usize],
+            Raw::Add(a, b) => a.eval(env).wrapping_add(b.eval(env)),
+            Raw::Sub(a, b) => a.eval(env).wrapping_sub(b.eval(env)),
+            Raw::Mul(a, b) => a.eval(env).wrapping_mul(b.eval(env)),
+            Raw::Div(a, b) => a.eval(env).div_euclid(b.eval(env)),
+            Raw::Mod(a, b) => a.eval(env).rem_euclid(b.eval(env)),
+            Raw::Min(a, b) => a.eval(env).min(b.eval(env)),
+            Raw::Max(a, b) => a.eval(env).max(b.eval(env)),
+        }
+    }
+
+    fn build(&self) -> ArithExpr {
+        match self {
+            Raw::Cst(c) => ArithExpr::from(*c),
+            Raw::Var(i) => ArithExpr::var(VAR_NAMES[*i as usize]),
+            Raw::Add(a, b) => a.build() + b.build(),
+            Raw::Sub(a, b) => a.build() - b.build(),
+            Raw::Mul(a, b) => a.build() * b.build(),
+            Raw::Div(a, b) => a.build() / b.build(),
+            Raw::Mod(a, b) => a.build() % b.build(),
+            Raw::Min(a, b) => ArithExpr::min(a.build(), b.build()),
+            Raw::Max(a, b) => ArithExpr::max(a.build(), b.build()),
+        }
+    }
+}
+
+/// Strictly positive sub-expressions, safe as divisors.
+fn positive_raw() -> impl Strategy<Value = Raw> {
+    prop_oneof![
+        (1i64..7).prop_map(Raw::Cst),
+        (0u8..4).prop_map(|v| Raw::Add(
+            Box::new(Raw::Cst(1)),
+            Box::new(Raw::Mul(Box::new(Raw::Var(v)), Box::new(Raw::Var(v)))),
+        )),
+    ]
+}
+
+fn raw_expr() -> impl Strategy<Value = Raw> {
+    let leaf = prop_oneof![(-6i64..7).prop_map(Raw::Cst), (0u8..4).prop_map(Raw::Var)];
+    leaf.prop_recursive(4, 40, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Raw::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Raw::Sub(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Raw::Mul(Box::new(a), Box::new(b))),
+            (inner.clone(), positive_raw())
+                .prop_map(|(a, b)| Raw::Div(Box::new(a), Box::new(b))),
+            (inner.clone(), positive_raw())
+                .prop_map(|(a, b)| Raw::Mod(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Raw::Min(Box::new(a), Box::new(b))),
+            (inner.clone(), inner)
+                .prop_map(|(a, b)| Raw::Max(Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+fn env_strategy() -> impl Strategy<Value = [i64; 4]> {
+    [(-20i64..40), (-20i64..40), (-20i64..40), (-20i64..40)]
+}
+
+fn bindings(env: &[i64; 4]) -> Bindings {
+    Bindings::from_iter(VAR_NAMES.iter().zip(env.iter()).map(|(n, v)| (*n, *v)))
+}
+
+proptest! {
+    /// Canonicalisation preserves semantics.
+    #[test]
+    fn simplify_preserves_value(raw in raw_expr(), env in env_strategy()) {
+        let expected = raw.eval(&env);
+        let built = raw.build();
+        let got = built.eval(&bindings(&env)).expect("all vars bound");
+        prop_assert_eq!(expected, got, "simplified form {} diverged", built);
+    }
+
+    /// Building an already-canonical expression again is the identity:
+    /// x + 0, x * 1 round-trips.
+    #[test]
+    fn canonical_form_is_fixed_point(raw in raw_expr()) {
+        let built = raw.build();
+        let again = built.clone() + ArithExpr::from(0);
+        prop_assert_eq!(built.clone(), again);
+        let again = built.clone() * ArithExpr::from(1);
+        prop_assert_eq!(built, again);
+    }
+
+    /// Substitution commutes with evaluation.
+    #[test]
+    fn substitution_commutes_with_eval(raw in raw_expr(), env in env_strategy()) {
+        let built = raw.build();
+        let substituted = VAR_NAMES
+            .iter()
+            .zip(env.iter())
+            .fold(built.clone(), |e, (n, v)| e.substitute(n, &ArithExpr::from(*v)));
+        let direct = built.eval(&bindings(&env)).expect("all vars bound");
+        prop_assert_eq!(substituted.as_cst(), Some(direct));
+    }
+
+    /// Interval analysis is sound: the concrete value lies in the interval.
+    #[test]
+    fn interval_is_sound(raw in raw_expr(), env in env_strategy()) {
+        use crate::range::Interval;
+        let built = raw.build();
+        let value = built.eval(&bindings(&env)).expect("all vars bound");
+        let point_env = |n: &str| {
+            VAR_NAMES
+                .iter()
+                .position(|v| *v == n)
+                .map(|i| Interval::point(env[i]))
+        };
+        if let Some(iv) = built.interval(&point_env) {
+            prop_assert!(
+                iv.lo <= value && value <= iv.hi,
+                "{} = {} outside [{}, {}]", built, value, iv.lo, iv.hi
+            );
+        }
+    }
+
+    /// Addition is commutative & associative at the structural level.
+    #[test]
+    fn sum_structural_laws(a in raw_expr(), b in raw_expr(), c in raw_expr()) {
+        let (a, b, c) = (a.build(), b.build(), c.build());
+        prop_assert_eq!(a.clone() + b.clone(), b.clone() + a.clone());
+        prop_assert_eq!((a.clone() + b.clone()) + c.clone(), a + (b + c));
+    }
+
+    /// Multiplication is commutative at the structural level.
+    #[test]
+    fn prod_structural_laws(a in raw_expr(), b in raw_expr()) {
+        let (a, b) = (a.build(), b.build());
+        prop_assert_eq!(a.clone() * b.clone(), b * a);
+    }
+}

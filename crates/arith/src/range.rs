@@ -1,0 +1,224 @@
+//! Conservative interval analysis over symbolic expressions.
+//!
+//! The code generator uses ranges to prove that pad-reindexing functions stay
+//! in bounds, to decide whether a loop can be unrolled (constant trip count)
+//! and to elide boundary `select`s when an index provably never leaves the
+//! valid region.
+
+use crate::expr::ArithExpr;
+
+/// A closed integer interval `[lo, hi]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Interval {
+    /// Inclusive lower bound.
+    pub lo: i64,
+    /// Inclusive upper bound.
+    pub hi: i64,
+}
+
+impl Interval {
+    /// Creates the interval `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn new(lo: i64, hi: i64) -> Self {
+        assert!(lo <= hi, "malformed interval [{lo}, {hi}]");
+        Interval { lo, hi }
+    }
+
+    /// The singleton interval `[v, v]`.
+    pub fn point(v: i64) -> Self {
+        Interval { lo: v, hi: v }
+    }
+
+    /// Returns `true` if every value of `self` lies within `[lo, hi]`.
+    pub fn within(&self, lo: i64, hi: i64) -> bool {
+        self.lo >= lo && self.hi <= hi
+    }
+
+    fn add(self, o: Interval) -> Interval {
+        Interval::new(self.lo.saturating_add(o.lo), self.hi.saturating_add(o.hi))
+    }
+
+    fn mul(self, o: Interval) -> Interval {
+        let candidates = [
+            self.lo.saturating_mul(o.lo),
+            self.lo.saturating_mul(o.hi),
+            self.hi.saturating_mul(o.lo),
+            self.hi.saturating_mul(o.hi),
+        ];
+        Interval::new(
+            *candidates.iter().min().expect("non-empty"),
+            *candidates.iter().max().expect("non-empty"),
+        )
+    }
+}
+
+/// An environment supplying a value interval for each variable.
+pub trait RangeEnv {
+    /// The interval a variable is known to lie in, if known.
+    fn range_of(&self, name: &str) -> Option<Interval>;
+}
+
+impl<F: Fn(&str) -> Option<Interval>> RangeEnv for F {
+    fn range_of(&self, name: &str) -> Option<Interval> {
+        self(name)
+    }
+}
+
+impl ArithExpr {
+    /// Computes a conservative interval for the expression under `env`,
+    /// or `None` when a variable range is unknown or an operation cannot be
+    /// bounded (e.g. division by an interval containing zero).
+    ///
+    /// The result is sound: the true value always lies within the returned
+    /// interval (assuming the variable ranges are sound).
+    ///
+    /// ```
+    /// use lift_arith::{ArithExpr, range::Interval};
+    /// let i = ArithExpr::var("i"); // a loop index in [0, 9]
+    /// let e = i * 2 + 1;
+    /// let r = e
+    ///     .interval(&|n: &str| (n == "i").then_some(Interval::new(0, 9)))
+    ///     .unwrap();
+    /// assert_eq!(r, Interval::new(1, 19));
+    /// ```
+    pub fn interval(&self, env: &impl RangeEnv) -> Option<Interval> {
+        self.interval_dyn(&|n| env.range_of(n))
+    }
+
+    fn interval_dyn(&self, env: &dyn Fn(&str) -> Option<Interval>) -> Option<Interval> {
+        match self {
+            ArithExpr::Cst(c) => Some(Interval::point(*c)),
+            ArithExpr::Var(v) => env(v),
+            ArithExpr::Sum(ts) => {
+                let mut acc = Interval::point(0);
+                for t in ts {
+                    acc = acc.add(t.interval_dyn(env)?);
+                }
+                Some(acc)
+            }
+            ArithExpr::Prod(ts) => {
+                let mut acc = Interval::point(1);
+                for t in ts {
+                    acc = acc.mul(t.interval_dyn(env)?);
+                }
+                Some(acc)
+            }
+            ArithExpr::Div(a, b) => {
+                let (ra, rb) = (a.interval_dyn(env)?, b.interval_dyn(env)?);
+                // Only the common case of a strictly positive divisor is
+                // needed by the compiler; anything else is "unknown".
+                if rb.lo <= 0 {
+                    return None;
+                }
+                let candidates = [
+                    ra.lo.div_euclid(rb.lo),
+                    ra.lo.div_euclid(rb.hi),
+                    ra.hi.div_euclid(rb.lo),
+                    ra.hi.div_euclid(rb.hi),
+                ];
+                Some(Interval::new(
+                    *candidates.iter().min().expect("non-empty"),
+                    *candidates.iter().max().expect("non-empty"),
+                ))
+            }
+            ArithExpr::Mod(_, b) => {
+                let rb = b.interval_dyn(env)?;
+                if rb.lo <= 0 {
+                    return None;
+                }
+                Some(Interval::new(0, rb.hi - 1))
+            }
+            ArithExpr::Min(a, b) => {
+                let (ra, rb) = (a.interval_dyn(env)?, b.interval_dyn(env)?);
+                Some(Interval::new(ra.lo.min(rb.lo), ra.hi.min(rb.hi)))
+            }
+            ArithExpr::Max(a, b) => {
+                let (ra, rb) = (a.interval_dyn(env)?, b.interval_dyn(env)?);
+                Some(Interval::new(ra.lo.max(rb.lo), ra.hi.max(rb.hi)))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env<'a>(pairs: &'a [(&'a str, Interval)]) -> impl Fn(&str) -> Option<Interval> + 'a {
+        move |n: &str| pairs.iter().find(|(k, _)| *k == n).map(|(_, v)| *v)
+    }
+
+    #[test]
+    fn constants_are_points() {
+        let e = ArithExpr::from(5);
+        assert_eq!(e.interval(&env(&[])), Some(Interval::point(5)));
+    }
+
+    #[test]
+    fn sums_and_products() {
+        let i = ArithExpr::var("i");
+        let bound = [("i", Interval::new(0, 7))];
+        assert_eq!(
+            (i.clone() + 3).interval(&env(&bound)),
+            Some(Interval::new(3, 10))
+        );
+        assert_eq!(
+            (i.clone() * -2).interval(&env(&bound)),
+            Some(Interval::new(-14, 0))
+        );
+        assert_eq!(
+            (i.clone() * i).interval(&env(&bound)),
+            Some(Interval::new(0, 49))
+        );
+    }
+
+    #[test]
+    fn division_positive_divisor() {
+        let i = ArithExpr::var("i");
+        let bound = [("i", Interval::new(0, 9))];
+        let e = ArithExpr::Div(Box::new(i), Box::new(ArithExpr::from(2)));
+        assert_eq!(e.interval(&env(&bound)), Some(Interval::new(0, 4)));
+    }
+
+    #[test]
+    fn division_by_maybe_zero_unknown() {
+        let d = ArithExpr::var("d");
+        let bound = [("d", Interval::new(0, 4))];
+        let e = ArithExpr::Div(Box::new(ArithExpr::from(8)), Box::new(d));
+        assert_eq!(e.interval(&env(&bound)), None);
+    }
+
+    #[test]
+    fn modulo_bounded_by_divisor() {
+        let i = ArithExpr::var("i");
+        let bound = [("i", Interval::new(-100, 100))];
+        let e = ArithExpr::Mod(Box::new(i), Box::new(ArithExpr::from(8)));
+        assert_eq!(e.interval(&env(&bound)), Some(Interval::new(0, 7)));
+    }
+
+    #[test]
+    fn clamp_pattern_stays_in_bounds() {
+        // clamp(i, 0, N-1) written as max(0, min(i, N-1)) with i in [-1, N].
+        let i = ArithExpr::var("i");
+        let n_minus_1 = ArithExpr::from(15);
+        let clamped = ArithExpr::max(ArithExpr::from(0), ArithExpr::min(i, n_minus_1));
+        let bound = [("i", Interval::new(-1, 16))];
+        let r = clamped.interval(&env(&bound)).unwrap();
+        assert!(r.within(0, 15));
+    }
+
+    #[test]
+    fn unknown_var_gives_none() {
+        let e = ArithExpr::var("mystery") + 1;
+        assert_eq!(e.interval(&env(&[])), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "malformed interval")]
+    fn malformed_interval_panics() {
+        let _ = Interval::new(3, 1);
+    }
+}

@@ -1,0 +1,7 @@
+//! Regenerates the rewrite-rule ablation (which optimisation pays on which
+//! device, §7.2) — `cargo bench --bench ablation`.
+
+fn main() {
+    let rows = lift_harness::ablation(&["Jacobi2D5pt", "Gaussian", "Jacobi3D7pt", "Heat"]);
+    print!("{}", lift_harness::report::render_ablation(&rows));
+}

@@ -1,0 +1,50 @@
+//! Criterion microbenchmarks of the compilation pipeline itself: how fast
+//! are type checking, the tiling rewrite, variant enumeration and OpenCL
+//! code generation? (The paper's pipeline runs thousands of these during
+//! exploration, so compiler throughput matters.)
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use lift_codegen::compile_kernel;
+use lift_core::typecheck::typecheck_fun;
+use lift_rewrite::enumerate_variants;
+use lift_stencils::by_name;
+
+fn bench_typecheck(c: &mut Criterion) {
+    let prog = by_name("Jacobi2D5pt").program(&[128, 128]);
+    c.bench_function("typecheck_jacobi2d", |b| {
+        b.iter(|| typecheck_fun(black_box(&prog)).expect("typechecks"))
+    });
+    let prog3 = by_name("Acoustic").program(&[16, 16, 16]);
+    c.bench_function("typecheck_acoustic", |b| {
+        b.iter(|| typecheck_fun(black_box(&prog3)).expect("typechecks"))
+    });
+}
+
+fn bench_rewriting(c: &mut Criterion) {
+    let prog = by_name("Jacobi2D5pt").program(&[128, 128]);
+    c.bench_function("enumerate_variants_jacobi2d", |b| {
+        b.iter(|| enumerate_variants(black_box(&prog)))
+    });
+}
+
+fn bench_codegen(c: &mut Criterion) {
+    let prog = by_name("Jacobi2D5pt").program(&[128, 128]);
+    let variants = enumerate_variants(&prog);
+    let global = variants.iter().find(|v| v.name == "global").expect("exists");
+    c.bench_function("codegen_jacobi2d_global", |b| {
+        b.iter(|| compile_kernel("k", black_box(&global.program)).expect("compiles"))
+    });
+    let tiled = variants.iter().find(|v| v.name == "tiled-local");
+    if let Some(tiled) = tiled {
+        let bound =
+            lift_rewrite::strategy::bind_tunables(tiled, &[("TS".into(), 10)]).expect("valid");
+        c.bench_function("codegen_jacobi2d_tiled_local", |b| {
+            b.iter(|| compile_kernel("k", black_box(&bound)).expect("compiles"))
+        });
+    }
+}
+
+criterion_group!(benches, bench_typecheck, bench_rewriting, bench_codegen);
+criterion_main!(benches);

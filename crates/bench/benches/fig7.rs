@@ -1,0 +1,7 @@
+//! Regenerates Figure 7 (Lift vs hand-written kernels on three virtual
+//! GPUs) — `cargo bench --bench fig7`.
+
+fn main() {
+    let rows = lift_harness::fig7();
+    print!("{}", lift_harness::report::render_fig7(&rows));
+}

@@ -1,0 +1,8 @@
+//! Regenerates Figure 8 (Lift speedup over the PPCG baseline, small and
+//! large sizes; large sizes skip the ARM device as in the paper) —
+//! `cargo bench --bench fig8`.
+
+fn main() {
+    let rows = lift_harness::fig8();
+    print!("{}", lift_harness::report::render_fig8(&rows));
+}

@@ -1,0 +1,40 @@
+//! Criterion microbenchmarks of the virtual OpenCL device: wall-clock cost
+//! of interpreting one kernel launch (this bounds how many tuner
+//! evaluations per second the harness can afford).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use lift_codegen::compile_kernel;
+use lift_oclsim::{BufferData, DeviceProfile, LaunchConfig, VirtualDevice};
+use lift_rewrite::enumerate_variants;
+use lift_stencils::by_name;
+
+fn bench_simulator(c: &mut Criterion) {
+    let bench = by_name("Jacobi2D5pt");
+    let sizes = [64usize, 64];
+    let prog = bench.program(&sizes);
+    let variants = enumerate_variants(&prog);
+    let global = variants.iter().find(|v| v.name == "global").expect("exists");
+    let kernel = compile_kernel("jacobi2d", &global.program).expect("compiles");
+    let inputs: Vec<BufferData> = bench
+        .gen_inputs(&sizes, 1)
+        .into_iter()
+        .map(BufferData::F32)
+        .collect();
+    let dev = VirtualDevice::new(DeviceProfile::k20c());
+    let launch = LaunchConfig::d2(64, 64, 16, 8);
+
+    let mut g = c.benchmark_group("virtual_device");
+    g.throughput(Throughput::Elements((sizes[0] * sizes[1]) as u64));
+    g.bench_function("jacobi2d_64x64_k20c", |b| {
+        b.iter(|| {
+            dev.run(black_box(&kernel), black_box(&inputs), launch)
+                .expect("runs")
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_simulator);
+criterion_main!(benches);

@@ -1,0 +1,8 @@
+//! Regenerates Table 1 (benchmark inventory) — `cargo bench --bench table1`.
+
+fn main() {
+    print!(
+        "{}",
+        lift_harness::report::render_table1(&lift_harness::table1())
+    );
+}

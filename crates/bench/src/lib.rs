@@ -1,0 +1,16 @@
+//! Benchmark harness crate: the `benches/` targets regenerate every table
+//! and figure of the paper's evaluation under `cargo bench`.
+//!
+//! * `table1` — the benchmark inventory (Table 1);
+//! * `fig7` — Lift vs hand-written kernels on three devices (Figure 7);
+//! * `fig8` — Lift vs the PPCG baseline, small & large sizes (Figure 8);
+//! * `ablation` — per-rewrite-variant value (the §7.2 findings);
+//! * `compiler` — Criterion microbenchmarks of the compilation pipeline
+//!   itself (typecheck, rewrite, codegen);
+//! * `simulator` — Criterion microbenchmarks of the virtual device.
+//!
+//! Knobs: `LIFT_TUNE_BUDGET` (evaluations per variant, default 10),
+//! `LIFT_FULL_SIZES=1` (paper-sized grids), `LIFT_SEED`.
+
+/// Marker so the crate builds a (tiny) library alongside the bench targets.
+pub const PAPER: &str = "High Performance Stencil Code Generation with Lift, CGO 2018";

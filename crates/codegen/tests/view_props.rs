@@ -1,0 +1,266 @@
+//! Property tests for the view system: a random stack of layout
+//! transformations read through [`View`] index algebra must agree with an
+//! independent *materialising* model at every element.
+
+use proptest::prelude::*;
+
+use lift_codegen::clike::{AddressSpace, BinOp, CExpr, VarRef};
+use lift_codegen::view::View;
+use lift_core::pattern::Boundary;
+use lift_core::scalar::Scalar;
+
+/// An independently-modelled array: flat data + shape, transformed
+/// *materially* (the oracle the lazy views must match).
+#[derive(Debug, Clone)]
+struct Model {
+    data: Vec<f32>,
+    shape: Vec<usize>,
+}
+
+impl Model {
+    fn outer(&self) -> usize {
+        self.shape[0]
+    }
+
+    fn row(&self) -> usize {
+        self.shape.iter().skip(1).product::<usize>().max(1)
+    }
+
+    fn pad(&self, l: usize, r: usize, b: Boundary) -> Model {
+        let n = self.outer() as i64;
+        let row = self.row();
+        let mut data = Vec::new();
+        for i in -(l as i64)..n + r as i64 {
+            let src = b.reindex(i, n) as usize;
+            data.extend_from_slice(&self.data[src * row..(src + 1) * row]);
+        }
+        let mut shape = self.shape.clone();
+        shape[0] += l + r;
+        Model { data, shape }
+    }
+
+    fn pad_value(&self, l: usize, r: usize, v: f32) -> Model {
+        let row = self.row();
+        let mut data = vec![v; l * row];
+        data.extend_from_slice(&self.data);
+        data.extend(std::iter::repeat_n(v, r * row));
+        let mut shape = self.shape.clone();
+        shape[0] += l + r;
+        Model { data, shape }
+    }
+
+    fn slide(&self, size: usize, step: usize) -> Model {
+        let n = self.outer();
+        let row = self.row();
+        let count = (n - size) / step + 1;
+        let mut data = Vec::new();
+        for i in 0..count {
+            data.extend_from_slice(&self.data[i * step * row..(i * step + size) * row]);
+        }
+        let mut shape = vec![count, size];
+        shape.extend_from_slice(&self.shape[1..]);
+        Model { data, shape }
+    }
+
+    fn split(&self, c: usize) -> Model {
+        let mut shape = vec![self.outer() / c, c];
+        shape.extend_from_slice(&self.shape[1..]);
+        Model {
+            data: self.data.clone(),
+            shape,
+        }
+    }
+
+    fn join(&self) -> Model {
+        let mut shape = vec![self.shape[0] * self.shape[1]];
+        shape.extend_from_slice(&self.shape[2..]);
+        Model {
+            data: self.data.clone(),
+            shape,
+        }
+    }
+
+    fn transpose(&self) -> Model {
+        let (a, b) = (self.shape[0], self.shape[1]);
+        let inner: usize = self.shape.iter().skip(2).product::<usize>().max(1);
+        let mut data = vec![0.0; self.data.len()];
+        for i in 0..a {
+            for j in 0..b {
+                let src = (i * b + j) * inner;
+                let dst = (j * a + i) * inner;
+                data[dst..dst + inner].copy_from_slice(&self.data[src..src + inner]);
+            }
+        }
+        let mut shape = vec![b, a];
+        shape.extend_from_slice(&self.shape[2..]);
+        Model { data, shape }
+    }
+}
+
+/// One random transformation applied to both the model and the view.
+#[derive(Debug, Clone)]
+enum Op {
+    Pad(usize, usize, Boundary),
+    PadValue(usize, usize),
+    Slide(usize, usize),
+    Split(usize),
+    Join,
+    Transpose,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        ((1usize..3), (1usize..3), prop_oneof![
+            Just(Boundary::Clamp),
+            Just(Boundary::Mirror),
+            Just(Boundary::Wrap)
+        ])
+            .prop_map(|(l, r, b)| Op::Pad(l, r, b)),
+        ((1usize..3), (1usize..3)).prop_map(|(l, r)| Op::PadValue(l, r)),
+        ((2usize..4), (1usize..3)).prop_map(|(s, st)| Op::Slide(s, st)),
+        (2usize..4).prop_map(Op::Split),
+        Just(Op::Join),
+        Just(Op::Transpose),
+    ]
+}
+
+/// Evaluates the access expression a view produced against concrete data.
+fn eval_cexpr(e: &CExpr, data: &[f32]) -> f64 {
+    match e {
+        CExpr::Int(v) => *v as f64,
+        CExpr::Float(v) => *v as f64,
+        CExpr::Bool(v) => *v as i64 as f64,
+        CExpr::Load { idx, .. } => {
+            let i = eval_cexpr(idx, data) as usize;
+            data[i] as f64
+        }
+        CExpr::Bin(op, a, b) => {
+            let (x, y) = (eval_cexpr(a, data), eval_cexpr(b, data));
+            match op {
+                BinOp::Add => x + y,
+                BinOp::Sub => x - y,
+                BinOp::Mul => x * y,
+                BinOp::Div => ((x as i64) / (y as i64)) as f64,
+                BinOp::Mod => ((x as i64) % (y as i64)) as f64,
+                BinOp::Min => x.min(y),
+                BinOp::Max => x.max(y),
+                BinOp::Lt => (x < y) as i64 as f64,
+                BinOp::Le => (x <= y) as i64 as f64,
+                BinOp::Gt => (x > y) as i64 as f64,
+                BinOp::Ge => (x >= y) as i64 as f64,
+                BinOp::Eq => (x == y) as i64 as f64,
+                BinOp::Ne => (x != y) as i64 as f64,
+                BinOp::And => ((x != 0.0) && (y != 0.0)) as i64 as f64,
+                BinOp::Or => ((x != 0.0) || (y != 0.0)) as i64 as f64,
+            }
+        }
+        CExpr::Select { cond, then_, else_ } => {
+            if eval_cexpr(cond, data) != 0.0 {
+                eval_cexpr(then_, data)
+            } else {
+                eval_cexpr(else_, data)
+            }
+        }
+        other => panic!("unexpected expression in view access: {other:?}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Lazy view reads equal materialised semantics for random layout
+    /// stacks over random data.
+    #[test]
+    fn views_match_materialised_semantics(
+        n in 4usize..12,
+        ops in proptest::collection::vec(op_strategy(), 0..5),
+        seed in 0u64..1_000,
+    ) {
+        let data: Vec<f32> = (0..n)
+            .map(|i| ((i as u64 + 1).wrapping_mul(seed + 7) % 101) as f32)
+            .collect();
+        let mut model = Model { data: data.clone(), shape: vec![n] };
+        let mut view = View::Mem {
+            buf: VarRef::fresh("A"),
+            space: AddressSpace::Global,
+            shape: vec![n],
+        };
+
+        for op in &ops {
+            match op {
+                Op::Pad(l, r, b) => {
+                    view = View::Pad {
+                        left: *l,
+                        n: model.outer(),
+                        boundary: *b,
+                        base: Box::new(view),
+                    };
+                    model = model.pad(*l, *r, *b);
+                }
+                Op::PadValue(l, r) => {
+                    view = View::PadValue {
+                        left: *l,
+                        n: model.outer(),
+                        value: Scalar::F32(55.5),
+                        base: Box::new(view),
+                    };
+                    model = model.pad_value(*l, *r, 55.5);
+                }
+                Op::Slide(size, step) => {
+                    prop_assume!(model.outer() >= *size);
+                    view = View::Slide {
+                        step: *step,
+                        base: Box::new(view),
+                    };
+                    model = model.slide(*size, *step);
+                }
+                Op::Split(c) => {
+                    prop_assume!(model.outer().is_multiple_of(*c));
+                    view = View::Split {
+                        chunk: *c,
+                        base: Box::new(view),
+                    };
+                    model = model.split(*c);
+                }
+                Op::Join => {
+                    prop_assume!(model.shape.len() >= 2);
+                    let inner = model.shape[1];
+                    view = View::Join {
+                        inner,
+                        base: Box::new(view),
+                    };
+                    model = model.join();
+                }
+                Op::Transpose => {
+                    prop_assume!(model.shape.len() >= 2);
+                    view = View::Transpose { base: Box::new(view) };
+                    model = model.transpose();
+                }
+            }
+        }
+
+        // Read every element through the view and compare with the model.
+        let total: usize = model.shape.iter().product();
+        prop_assume!(total <= 4096);
+        let dims = model.shape.len();
+        for flat in 0..total {
+            let mut idxs = Vec::with_capacity(dims);
+            let mut rest = flat;
+            for d in (0..dims).rev() {
+                idxs.push(CExpr::Int((rest % model.shape[d]) as i64));
+                rest /= model.shape[d];
+            }
+            idxs.reverse();
+            let access = view.read(&idxs).expect("view resolves");
+            let got = eval_cexpr(&access, &data) as f32;
+            prop_assert_eq!(
+                got,
+                model.data[flat],
+                "element {} of shape {:?} after {:?}",
+                flat,
+                model.shape,
+                ops
+            );
+        }
+    }
+}

@@ -1,0 +1,356 @@
+//! An ergonomic builder DSL for Lift expressions.
+//!
+//! Free functions mirror the paper's surface syntax: Listing 2's
+//!
+//! ```text
+//! map(sumNbh, slide(3, 1, pad(1, 1, clamp, A)))
+//! ```
+//!
+//! is written
+//!
+//! ```
+//! use lift_core::prelude::*;
+//! let n = ArithExpr::var("N");
+//! let program = lam(Type::array(Type::f32(), n), |a| {
+//!     let sum_nbh = lam(Type::array(Type::f32(), 3), |nbh| {
+//!         reduce(add_f32(), Expr::f32(0.0), nbh)
+//!     });
+//!     map(sum_nbh, slide(3, 1, pad(1, 1, Boundary::Clamp, a)))
+//! });
+//! assert!(typecheck_fun(&program).is_ok());
+//! ```
+
+use std::sync::Arc;
+
+use lift_arith::ArithExpr;
+
+use crate::expr::{Expr, FunDecl, Param};
+use crate::pattern::{Boundary, MapKind, Pattern, ReduceKind};
+use crate::scalar::Scalar;
+use crate::types::Type;
+use crate::userfun::UserFun;
+
+/// Builds a unary lambda `λx: ty. body(x)`.
+pub fn lam(ty: Type, body: impl FnOnce(Expr) -> Expr) -> FunDecl {
+    let p = Param::fresh("x", ty);
+    let b = body(Expr::Param(p.clone()));
+    FunDecl::lambda(vec![p], b)
+}
+
+/// Builds a binary lambda `λx y. body(x, y)`.
+pub fn lam2(ty1: Type, ty2: Type, body: impl FnOnce(Expr, Expr) -> Expr) -> FunDecl {
+    let p1 = Param::fresh("x", ty1);
+    let p2 = Param::fresh("y", ty2);
+    let b = body(Expr::Param(p1.clone()), Expr::Param(p2.clone()));
+    FunDecl::lambda(vec![p1, p2], b)
+}
+
+/// Builds a named unary lambda, for nicer pretty-printing of top-level
+/// programs (`fun(A => …)`).
+pub fn lam_named(name: &str, ty: Type, body: impl FnOnce(Expr) -> Expr) -> FunDecl {
+    let p = Param::fresh(name, ty);
+    let b = body(Expr::Param(p.clone()));
+    FunDecl::lambda(vec![p], b)
+}
+
+/// Builds a named binary lambda.
+pub fn lam2_named(
+    n1: &str,
+    ty1: Type,
+    n2: &str,
+    ty2: Type,
+    body: impl FnOnce(Expr, Expr) -> Expr,
+) -> FunDecl {
+    let p1 = Param::fresh(n1, ty1);
+    let p2 = Param::fresh(n2, ty2);
+    let b = body(Expr::Param(p1.clone()), Expr::Param(p2.clone()));
+    FunDecl::lambda(vec![p1, p2], b)
+}
+
+/// Converts a function-like value ([`FunDecl`], `Arc<UserFun>`, [`Pattern`])
+/// into a [`FunDecl`].
+pub fn fun(f: impl Into<FunDecl>) -> FunDecl {
+    f.into()
+}
+
+fn map_kind(kind: MapKind, f: impl Into<FunDecl>, input: Expr) -> Expr {
+    Expr::apply(
+        FunDecl::pattern(Pattern::Map {
+            kind,
+            f: f.into(),
+        }),
+        [input],
+    )
+}
+
+/// `map(f, input)` — the high-level data-parallel map.
+pub fn map(f: impl Into<FunDecl>, input: Expr) -> Expr {
+    map_kind(MapKind::Par, f, input)
+}
+
+/// `mapSeq(f, input)` — sequential loop inside one work-item.
+pub fn map_seq(f: impl Into<FunDecl>, input: Expr) -> Expr {
+    map_kind(MapKind::Seq, f, input)
+}
+
+/// `mapSeqUnroll(f, input)` — unrolled sequential map.
+pub fn map_seq_unroll(f: impl Into<FunDecl>, input: Expr) -> Expr {
+    map_kind(MapKind::SeqUnroll, f, input)
+}
+
+/// `mapGlb_d(f, input)` — parallel over global work-item ids in dimension `d`.
+pub fn map_glb(d: u8, f: impl Into<FunDecl>, input: Expr) -> Expr {
+    map_kind(MapKind::Glb(d), f, input)
+}
+
+/// `mapWrg_d(f, input)` — parallel over work-group ids in dimension `d`.
+pub fn map_wrg(d: u8, f: impl Into<FunDecl>, input: Expr) -> Expr {
+    map_kind(MapKind::Wrg(d), f, input)
+}
+
+/// `mapLcl_d(f, input)` — parallel over local work-item ids in dimension `d`.
+pub fn map_lcl(d: u8, f: impl Into<FunDecl>, input: Expr) -> Expr {
+    map_kind(MapKind::Lcl(d), f, input)
+}
+
+/// `reduce(f, init, input)` — high-level reduction.
+pub fn reduce(f: impl Into<FunDecl>, init: Expr, input: Expr) -> Expr {
+    Expr::apply(
+        FunDecl::pattern(Pattern::Reduce {
+            kind: ReduceKind::Par,
+            f: f.into(),
+        }),
+        [init, input],
+    )
+}
+
+/// `reduceSeq(f, init, input)` — sequential accumulation.
+pub fn reduce_seq(f: impl Into<FunDecl>, init: Expr, input: Expr) -> Expr {
+    Expr::apply(
+        FunDecl::pattern(Pattern::Reduce {
+            kind: ReduceKind::Seq,
+            f: f.into(),
+        }),
+        [init, input],
+    )
+}
+
+/// `reduceUnroll(f, init, input)` — unrolled sequential accumulation (§4.3).
+pub fn reduce_unroll(f: impl Into<FunDecl>, init: Expr, input: Expr) -> Expr {
+    Expr::apply(
+        FunDecl::pattern(Pattern::Reduce {
+            kind: ReduceKind::SeqUnroll,
+            f: f.into(),
+        }),
+        [init, input],
+    )
+}
+
+/// `zip(a, b)`.
+pub fn zip2(a: Expr, b: Expr) -> Expr {
+    Expr::apply(FunDecl::pattern(Pattern::Zip { arity: 2 }), [a, b])
+}
+
+/// `zip3(a, b, c)` — used by the acoustic benchmark (§3.5).
+pub fn zip3(a: Expr, b: Expr, c: Expr) -> Expr {
+    Expr::apply(FunDecl::pattern(Pattern::Zip { arity: 3 }), [a, b, c])
+}
+
+/// `split(chunk, input)`.
+pub fn split(chunk: impl Into<ArithExpr>, input: Expr) -> Expr {
+    Expr::apply(
+        FunDecl::pattern(Pattern::Split {
+            chunk: chunk.into(),
+        }),
+        [input],
+    )
+}
+
+/// `join(input)`.
+pub fn join(input: Expr) -> Expr {
+    Expr::apply(FunDecl::pattern(Pattern::Join), [input])
+}
+
+/// `transpose(input)`.
+pub fn transpose(input: Expr) -> Expr {
+    Expr::apply(FunDecl::pattern(Pattern::Transpose), [input])
+}
+
+/// `slide(size, step, input)` — the paper's neighbourhood-creation primitive.
+pub fn slide(size: impl Into<ArithExpr>, step: impl Into<ArithExpr>, input: Expr) -> Expr {
+    Expr::apply(
+        FunDecl::pattern(Pattern::Slide {
+            size: size.into(),
+            step: step.into(),
+        }),
+        [input],
+    )
+}
+
+/// `pad(l, r, h, input)` — the paper's re-indexing boundary primitive.
+pub fn pad(
+    left: impl Into<ArithExpr>,
+    right: impl Into<ArithExpr>,
+    boundary: Boundary,
+    input: Expr,
+) -> Expr {
+    Expr::apply(
+        FunDecl::pattern(Pattern::Pad {
+            left: left.into(),
+            right: right.into(),
+            boundary,
+        }),
+        [input],
+    )
+}
+
+/// `padValue(l, r, c, input)` — the value variant of `pad` (constant
+/// boundaries).
+pub fn pad_value(
+    left: impl Into<ArithExpr>,
+    right: impl Into<ArithExpr>,
+    value: impl Into<Scalar>,
+    input: Expr,
+) -> Expr {
+    Expr::apply(
+        FunDecl::pattern(Pattern::PadValue {
+            left: left.into(),
+            right: right.into(),
+            value: value.into(),
+        }),
+        [input],
+    )
+}
+
+/// `at(i, input)` — constant-index array access, written `input[i]` in the
+/// paper.
+pub fn at(index: impl Into<ArithExpr>, input: Expr) -> Expr {
+    Expr::apply(
+        FunDecl::pattern(Pattern::At {
+            index: index.into(),
+        }),
+        [input],
+    )
+}
+
+/// 3D constant-index access `input[i][j][k]` (outermost index first).
+pub fn at3(
+    i: impl Into<ArithExpr>,
+    j: impl Into<ArithExpr>,
+    k: impl Into<ArithExpr>,
+    input: Expr,
+) -> Expr {
+    at(k, at(j, at(i, input)))
+}
+
+/// 2D constant-index access `input[i][j]`.
+pub fn at2(i: impl Into<ArithExpr>, j: impl Into<ArithExpr>, input: Expr) -> Expr {
+    at(j, at(i, input))
+}
+
+/// `get(i, input)` — tuple component access, written `input.i` in the paper.
+pub fn get(index: usize, input: Expr) -> Expr {
+    Expr::apply(FunDecl::pattern(Pattern::Get { index }), [input])
+}
+
+/// `array(n, f)` — 1D generated array (lazily computed by `f(i, n)`).
+pub fn array_gen(fun: Arc<UserFun>, n: impl Into<ArithExpr>) -> Expr {
+    Expr::apply(
+        FunDecl::pattern(Pattern::ArrayGen {
+            fun,
+            sizes: vec![n.into()],
+        }),
+        [],
+    )
+}
+
+/// `array3(o, n, m, f)` — 3D generated array (§3.5's on-the-fly mask).
+pub fn array_gen3(
+    fun: Arc<UserFun>,
+    o: impl Into<ArithExpr>,
+    n: impl Into<ArithExpr>,
+    m: impl Into<ArithExpr>,
+) -> Expr {
+    Expr::apply(
+        FunDecl::pattern(Pattern::ArrayGen {
+            fun,
+            sizes: vec![o.into(), n.into(), m.into()],
+        }),
+        [],
+    )
+}
+
+/// `iterate(times, f, input)`.
+pub fn iterate(times: impl Into<ArithExpr>, f: impl Into<FunDecl>, input: Expr) -> Expr {
+    Expr::apply(
+        FunDecl::pattern(Pattern::Iterate {
+            times: times.into(),
+            f: f.into(),
+        }),
+        [input],
+    )
+}
+
+/// `toLocal(f)` — redirect `f`'s output into local memory (§4.2).
+pub fn to_local(f: impl Into<FunDecl>) -> FunDecl {
+    FunDecl::pattern(Pattern::ToLocal { f: f.into() })
+}
+
+/// `toGlobal(f)` — redirect `f`'s output into global memory.
+pub fn to_global(f: impl Into<FunDecl>) -> FunDecl {
+    FunDecl::pattern(Pattern::ToGlobal { f: f.into() })
+}
+
+/// `toPrivate(f)` — redirect `f`'s output into private memory.
+pub fn to_private(f: impl Into<FunDecl>) -> FunDecl {
+    FunDecl::pattern(Pattern::ToPrivate { f: f.into() })
+}
+
+/// The identity function as a [`FunDecl`].
+pub fn id() -> FunDecl {
+    FunDecl::pattern(Pattern::Id)
+}
+
+/// Applies a scalar [`UserFun`] to arguments.
+pub fn call(f: &Arc<UserFun>, args: impl IntoIterator<Item = Expr>) -> Expr {
+    Expr::apply(FunDecl::UserFun(f.clone()), args)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::typecheck::typecheck;
+    use crate::userfun::add_f32;
+
+    #[test]
+    fn builders_produce_wellformed_exprs() {
+        let a = Expr::Param(Param::fresh("A", Type::array(Type::f32(), 8)));
+        let e = map(id(), slide(3, 1, pad(1, 1, Boundary::Clamp, a)));
+        assert!(typecheck(&e).is_ok());
+    }
+
+    #[test]
+    fn call_userfun() {
+        let e = call(&add_f32(), [Expr::f32(1.0), Expr::f32(2.0)]);
+        assert_eq!(typecheck(&e).unwrap(), Type::f32());
+    }
+
+    #[test]
+    fn at_nested_accesses() {
+        let a = Expr::Param(Param::fresh(
+            "A",
+            Type::array_3d(Type::f32(), 3, 3, 3),
+        ));
+        let e = at3(1, 1, 1, a);
+        assert_eq!(typecheck(&e).unwrap(), Type::f32());
+    }
+
+    #[test]
+    fn lam2_binds_two_params() {
+        let f = lam2(Type::f32(), Type::f32(), |a, b| {
+            call(&add_f32(), [a, b])
+        });
+        let l = f.as_lambda().expect("lambda");
+        assert_eq!(l.params.len(), 2);
+    }
+}

@@ -1,0 +1,235 @@
+//! Lift expressions: a small λ-calculus over data-parallel primitives.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+
+use crate::pattern::Pattern;
+use crate::scalar::Scalar;
+use crate::types::Type;
+use crate::userfun::UserFun;
+
+static NEXT_PARAM_ID: AtomicU32 = AtomicU32::new(0);
+
+/// A λ-bound parameter.
+///
+/// Parameters carry their type and a process-unique id; occurrences inside a
+/// lambda body reference the parameter by shared [`ParamRef`] identity, so
+/// substitution-free binding resolution is possible (no capture issues).
+#[derive(Debug)]
+pub struct Param {
+    id: u32,
+    name: String,
+    ty: Type,
+}
+
+/// Shared handle to a [`Param`].
+pub type ParamRef = Arc<Param>;
+
+impl Param {
+    /// Creates a parameter with a fresh unique id.
+    pub fn fresh(name: impl Into<String>, ty: Type) -> ParamRef {
+        Arc::new(Param {
+            id: NEXT_PARAM_ID.fetch_add(1, Ordering::Relaxed),
+            name: name.into(),
+            ty,
+        })
+    }
+
+    /// The process-unique id of this parameter.
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+
+    /// The display name (not necessarily unique).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The declared type.
+    pub fn ty(&self) -> &Type {
+        &self.ty
+    }
+}
+
+/// A Lift expression.
+#[derive(Debug, Clone)]
+pub enum Expr {
+    /// A reference to a λ-bound parameter.
+    Param(ParamRef),
+    /// A scalar literal.
+    Literal(Scalar),
+    /// Application of a function declaration to arguments.
+    Apply(Box<Apply>),
+}
+
+/// A function application node.
+#[derive(Debug, Clone)]
+pub struct Apply {
+    /// The applied function: a lambda, a primitive pattern, or a user
+    /// function.
+    pub fun: FunDecl,
+    /// The arguments (most primitives are unary; `zip`/`reduce` take more).
+    pub args: Vec<Expr>,
+}
+
+/// Anything that can be applied to arguments.
+#[derive(Debug, Clone)]
+pub enum FunDecl {
+    /// An anonymous function.
+    Lambda(Arc<Lambda>),
+    /// A built-in data-parallel primitive.
+    Pattern(Box<Pattern>),
+    /// An opaque scalar function (C source + Rust semantics).
+    UserFun(Arc<UserFun>),
+}
+
+/// An anonymous function `λ p1 … pk. body`.
+#[derive(Debug)]
+pub struct Lambda {
+    /// The bound parameters.
+    pub params: Vec<ParamRef>,
+    /// The function body.
+    pub body: Expr,
+}
+
+impl Expr {
+    /// An `f32` literal.
+    pub fn f32(v: f32) -> Expr {
+        Expr::Literal(Scalar::F32(v))
+    }
+
+    /// An `i32` literal.
+    pub fn i32(v: i32) -> Expr {
+        Expr::Literal(Scalar::I32(v))
+    }
+
+    /// Applies `fun` to `args`.
+    pub fn apply(fun: FunDecl, args: impl IntoIterator<Item = Expr>) -> Expr {
+        Expr::Apply(Box::new(Apply {
+            fun,
+            args: args.into_iter().collect(),
+        }))
+    }
+
+    /// Returns the application node if this is an application.
+    pub fn as_apply(&self) -> Option<&Apply> {
+        match self {
+            Expr::Apply(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Returns the pattern if this is an application of a primitive.
+    pub fn applied_pattern(&self) -> Option<&Pattern> {
+        match self {
+            Expr::Apply(a) => a.fun.as_pattern(),
+            _ => None,
+        }
+    }
+}
+
+impl FunDecl {
+    /// Wraps a pattern.
+    pub fn pattern(p: Pattern) -> FunDecl {
+        FunDecl::Pattern(Box::new(p))
+    }
+
+    /// Builds a lambda from parts.
+    pub fn lambda(params: Vec<ParamRef>, body: Expr) -> FunDecl {
+        FunDecl::Lambda(Arc::new(Lambda { params, body }))
+    }
+
+    /// Returns the pattern if this declaration is one.
+    pub fn as_pattern(&self) -> Option<&Pattern> {
+        match self {
+            FunDecl::Pattern(p) => Some(p),
+            _ => None,
+        }
+    }
+
+    /// Returns the lambda if this declaration is one.
+    pub fn as_lambda(&self) -> Option<&Lambda> {
+        match self {
+            FunDecl::Lambda(l) => Some(l),
+            _ => None,
+        }
+    }
+
+    /// Returns the user function if this declaration is one.
+    pub fn as_userfun(&self) -> Option<&Arc<UserFun>> {
+        match self {
+            FunDecl::UserFun(u) => Some(u),
+            _ => None,
+        }
+    }
+
+    /// Function composition `self ∘ g` as a fresh unary lambda
+    /// `λx. self(g(x))`.
+    ///
+    /// The argument type of the composed function is `arg_ty` (the input of
+    /// `g`).
+    pub fn compose(self, g: FunDecl, arg_ty: Type) -> FunDecl {
+        let p = Param::fresh("x", arg_ty);
+        let inner = Expr::apply(g, [Expr::Param(p.clone())]);
+        let body = Expr::apply(self, [inner]);
+        FunDecl::lambda(vec![p], body)
+    }
+}
+
+impl From<Arc<UserFun>> for FunDecl {
+    fn from(u: Arc<UserFun>) -> Self {
+        FunDecl::UserFun(u)
+    }
+}
+
+impl From<Pattern> for FunDecl {
+    fn from(p: Pattern) -> Self {
+        FunDecl::pattern(p)
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        crate::pretty::fmt_expr(self, f, 0)
+    }
+}
+
+impl fmt::Display for FunDecl {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        crate::pretty::fmt_fun(self, f, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::userfun::add_f32;
+
+    #[test]
+    fn params_have_unique_ids() {
+        let a = Param::fresh("x", Type::f32());
+        let b = Param::fresh("x", Type::f32());
+        assert_ne!(a.id(), b.id());
+        assert_eq!(a.name(), b.name());
+    }
+
+    #[test]
+    fn apply_structure() {
+        let e = Expr::apply(FunDecl::from(add_f32()), [Expr::f32(1.0), Expr::f32(2.0)]);
+        let a = e.as_apply().expect("is apply");
+        assert_eq!(a.args.len(), 2);
+        assert!(a.fun.as_userfun().is_some());
+    }
+
+    #[test]
+    fn compose_builds_nested_apply() {
+        let f = FunDecl::from(add_f32()); // not unary, but structure is what we test
+        let g = FunDecl::pattern(Pattern::Id);
+        let c = f.compose(g, Type::f32());
+        let lam = c.as_lambda().expect("composition is a lambda");
+        assert_eq!(lam.params.len(), 1);
+        let outer = lam.body.as_apply().expect("body is apply");
+        assert!(outer.args[0].as_apply().is_some());
+    }
+}

@@ -1,0 +1,455 @@
+//! Derived n-dimensional combinators (§3.4 of the paper).
+//!
+//! Multi-dimensional stencils are expressed *by composition* of the 1D
+//! primitives:
+//!
+//! * `map_n(f) = map_{n−1}(map(f))`,
+//! * `pad_n(l, r, h) = map_{n−1}(pad(l, r, h)) ∘ pad_{n−1}(l, r, h)`,
+//! * `slide_n = reorder ∘ slide ∘ map(slide_{n−1})`, where `reorder` is a
+//!   combination of `map^d(transpose)` calls that moves the window
+//!   dimensions innermost.
+//!
+//! The combinators need the argument's type to build intermediate lambdas,
+//! so they infer it with the type checker.
+
+use lift_arith::ArithExpr;
+
+use crate::build::{lam, map, pad, pad_value, slide};
+use crate::expr::{Expr, FunDecl};
+use crate::pattern::{Boundary, Pattern};
+use crate::scalar::Scalar;
+use crate::typecheck::typecheck;
+use crate::types::Type;
+
+/// Infers the element type of an array-typed expression.
+///
+/// # Panics
+///
+/// Panics if `e` is ill-typed or not an array — the n-dimensional builders
+/// are compiler-construction tools, so this indicates a bug at the call
+/// site, not a runtime input error.
+fn elem_type(e: &Expr) -> Type {
+    let ty = typecheck(e).unwrap_or_else(|err| panic!("ndim builder on ill-typed input: {err}"));
+    match ty.as_array() {
+        Some((elem, _)) => elem.clone(),
+        None => panic!("ndim builder expects an array, got {ty}"),
+    }
+}
+
+/// Applies the unary function `f` under `depth` nested `map`s.
+///
+/// `depth = 0` applies `f` directly; `depth = d` rewrites to
+/// `map(λx. map_at_depth(d−1, f, x))`.
+///
+/// # Panics
+///
+/// Panics if the input is ill-typed for the requested depth.
+pub fn map_at_depth(depth: usize, f: FunDecl, input: Expr) -> Expr {
+    if depth == 0 {
+        return Expr::apply(f, [input]);
+    }
+    let elem = elem_type(&input);
+    map(
+        lam(elem, |x| map_at_depth(depth - 1, f, x)),
+        input,
+    )
+}
+
+/// `map2(f) = map(map(f))` — maps `f` over the elements of a 2D array.
+///
+/// # Panics
+///
+/// Panics if `input` is not (at least) a 2D array.
+pub fn map2(f: impl Into<FunDecl>, input: Expr) -> Expr {
+    map_at_depth(1, FunDecl::pattern(Pattern::Map {
+        kind: crate::pattern::MapKind::Par,
+        f: f.into(),
+    }), input)
+}
+
+/// `map3(f) = map(map(map(f)))`.
+///
+/// # Panics
+///
+/// Panics if `input` is not (at least) a 3D array.
+pub fn map3(f: impl Into<FunDecl>, input: Expr) -> Expr {
+    let inner = FunDecl::pattern(Pattern::Map {
+        kind: crate::pattern::MapKind::Par,
+        f: f.into(),
+    });
+    let middle = {
+        let elem2 = match typecheck(&input)
+            .expect("map3 on ill-typed input")
+            .as_array()
+            .map(|(e, _)| e.clone())
+        {
+            Some(e) => e,
+            None => panic!("map3 expects a 3D array"),
+        };
+        let row = match elem2.as_array().map(|(e, _)| e.clone()) {
+            Some(r) => r,
+            None => panic!("map3 expects a 3D array"),
+        };
+        lam(elem2, move |plane| {
+            map(lam(row, |r| Expr::apply(inner, [r])), plane)
+        })
+    };
+    map(middle, input)
+}
+
+/// `pad2(l, r, h) = map(pad(l, r, h)) ∘ pad(l, r, h)` — pads both dimensions
+/// of a 2D array with the same boundary handling.
+///
+/// # Panics
+///
+/// Panics if `input` is not a 2D array.
+pub fn pad2(
+    l: impl Into<ArithExpr>,
+    r: impl Into<ArithExpr>,
+    boundary: Boundary,
+    input: Expr,
+) -> Expr {
+    let (l, r) = (l.into(), r.into());
+    let outer = pad(l.clone(), r.clone(), boundary, input);
+    let elem = elem_type(&outer);
+    map(lam(elem, |row| pad(l, r, boundary, row)), outer)
+}
+
+/// `pad3(l, r, h)` — pads all three dimensions of a 3D array.
+///
+/// # Panics
+///
+/// Panics if `input` is not a 3D array.
+pub fn pad3(
+    l: impl Into<ArithExpr>,
+    r: impl Into<ArithExpr>,
+    boundary: Boundary,
+    input: Expr,
+) -> Expr {
+    let (l, r) = (l.into(), r.into());
+    let outer = pad(l.clone(), r.clone(), boundary, input);
+    let plane = elem_type(&outer);
+    let row = match plane.as_array().map(|(e, _)| e.clone()) {
+        Some(rw) => rw,
+        None => panic!("pad3 expects a 3D array"),
+    };
+    map(
+        lam(plane, move |p| {
+            let padded = pad(l.clone(), r.clone(), boundary, p);
+            map(lam(row, |rw| pad(l, r, boundary, rw)), padded)
+        }),
+        outer,
+    )
+}
+
+/// `pad2` with a constant boundary value.
+///
+/// # Panics
+///
+/// Panics if `input` is not a 2D array.
+pub fn pad2_value(
+    l: impl Into<ArithExpr>,
+    r: impl Into<ArithExpr>,
+    value: impl Into<Scalar>,
+    input: Expr,
+) -> Expr {
+    let (l, r, v) = (l.into(), r.into(), value.into());
+    let outer = pad_value(l.clone(), r.clone(), v, input);
+    let elem = elem_type(&outer);
+    map(lam(elem, |row| pad_value(l, r, v, row)), outer)
+}
+
+/// `pad3` with a constant boundary value — as used by the acoustic
+/// benchmark: `pad3(1, 1, 1, zero, grid)`.
+///
+/// # Panics
+///
+/// Panics if `input` is not a 3D array.
+pub fn pad3_value(
+    l: impl Into<ArithExpr>,
+    r: impl Into<ArithExpr>,
+    value: impl Into<Scalar>,
+    input: Expr,
+) -> Expr {
+    let (l, r, v) = (l.into(), r.into(), value.into());
+    let outer = pad_value(l.clone(), r.clone(), v, input);
+    let plane = elem_type(&outer);
+    let row = match plane.as_array().map(|(e, _)| e.clone()) {
+        Some(rw) => rw,
+        None => panic!("pad3_value expects a 3D array"),
+    };
+    map(
+        lam(plane, move |p| {
+            let padded = pad_value(l.clone(), r.clone(), v, p);
+            map(lam(row, |rw| pad_value(l, r, v, rw)), padded)
+        }),
+        outer,
+    )
+}
+
+/// `slide2(size, step) = map(transpose) ∘ slide ∘ map(slide)` — creates 2D
+/// neighbourhoods (§3.4).
+///
+/// The result type is `[[ [[T]_size]_size ]_m']_n'`: a 2D grid of 2D
+/// windows.
+///
+/// # Panics
+///
+/// Panics if `input` is not a 2D array.
+pub fn slide2(size: impl Into<ArithExpr>, step: impl Into<ArithExpr>, input: Expr) -> Expr {
+    let (size, step) = (size.into(), step.into());
+    let elem = elem_type(&input);
+    let inner = map(
+        lam(elem, |row| slide(size.clone(), step.clone(), row)),
+        input,
+    );
+    let outer = slide(size, step, inner);
+    map_at_depth(1, FunDecl::pattern(Pattern::Transpose), outer)
+}
+
+/// `slide3(size, step)` — creates 3D neighbourhoods by sliding every
+/// dimension and re-ordering the six resulting dimensions so the three
+/// window dimensions are innermost (§3.4).
+///
+/// # Panics
+///
+/// Panics if `input` is not a 3D array.
+pub fn slide3(size: impl Into<ArithExpr>, step: impl Into<ArithExpr>, input: Expr) -> Expr {
+    let (size, step) = (size.into(), step.into());
+    // Slide the innermost dimension: map(map(slide)).
+    let plane_ty = elem_type(&input);
+    let row_ty = match plane_ty.as_array().map(|(e, _)| e.clone()) {
+        Some(r) => r,
+        None => panic!("slide3 expects a 3D array"),
+    };
+    let s_inner = map(
+        lam(plane_ty, {
+            let (size, step) = (size.clone(), step.clone());
+            move |plane| {
+                map(
+                    lam(row_ty, |row| slide(size.clone(), step.clone(), row)),
+                    plane,
+                )
+            }
+        }),
+        input,
+    );
+    // Slide the middle dimension: map(slide).
+    let elem = elem_type(&s_inner);
+    let s_middle = map(
+        lam(elem, {
+            let (size, step) = (size.clone(), step.clone());
+            move |x| slide(size, step, x)
+        }),
+        s_inner,
+    );
+    // Slide the outermost dimension.
+    let s_outer = slide(size, step, s_middle);
+    // Dimensions are now [o' s3 n' s2 m' s]; reorder to [o' n' m' s3 s2 s]
+    // by swapping adjacent dimensions with transposes at depths 1, 3, 2.
+    let t1 = map_at_depth(1, FunDecl::pattern(Pattern::Transpose), s_outer);
+    let t2 = map_at_depth(3, FunDecl::pattern(Pattern::Transpose), t1);
+    map_at_depth(2, FunDecl::pattern(Pattern::Transpose), t2)
+}
+
+/// `zip` of two 2D arrays element-wise: `[[{T,U}]_m]_n` (zips every
+/// dimension, not just the outermost).
+///
+/// # Panics
+///
+/// Panics if the inputs are not equal-shaped 2D arrays.
+pub fn zip2_2d(a: Expr, b: Expr) -> Expr {
+    let outer = crate::build::zip2(a, b);
+    let elem = elem_type(&outer);
+    map(
+        lam(elem, |t| {
+            crate::build::zip2(crate::build::get(0, t.clone()), crate::build::get(1, t))
+        }),
+        outer,
+    )
+}
+
+/// `zip` of two 3D arrays element-wise.
+///
+/// # Panics
+///
+/// Panics if the inputs are not equal-shaped 3D arrays.
+pub fn zip2_3d(a: Expr, b: Expr) -> Expr {
+    let outer = crate::build::zip2(a, b);
+    let elem = elem_type(&outer);
+    map(
+        lam(elem, |t| {
+            zip2_2d(crate::build::get(0, t.clone()), crate::build::get(1, t))
+        }),
+        outer,
+    )
+}
+
+/// `zip3` of three 2D arrays element-wise.
+///
+/// # Panics
+///
+/// Panics if the inputs are not equal-shaped 2D arrays.
+pub fn zip3_2d(a: Expr, b: Expr, c: Expr) -> Expr {
+    let outer = crate::build::zip3(a, b, c);
+    let elem = elem_type(&outer);
+    map(
+        lam(elem, |t| {
+            crate::build::zip3(
+                crate::build::get(0, t.clone()),
+                crate::build::get(1, t.clone()),
+                crate::build::get(2, t),
+            )
+        }),
+        outer,
+    )
+}
+
+/// `zip3` of three 3D arrays element-wise — the shape the acoustic
+/// benchmark's `zip3` uses (§3.5).
+///
+/// # Panics
+///
+/// Panics if the inputs are not equal-shaped 3D arrays.
+pub fn zip3_3d(a: Expr, b: Expr, c: Expr) -> Expr {
+    let outer = crate::build::zip3(a, b, c);
+    let elem = elem_type(&outer);
+    map(
+        lam(elem, |t| {
+            zip3_2d(
+                crate::build::get(0, t.clone()),
+                crate::build::get(1, t.clone()),
+                crate::build::get(2, t),
+            )
+        }),
+        outer,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::id;
+    use crate::expr::Param;
+
+    fn var(n: &str) -> ArithExpr {
+        ArithExpr::var(n)
+    }
+
+    fn grid2(n: impl Into<ArithExpr>, m: impl Into<ArithExpr>) -> Expr {
+        Expr::Param(Param::fresh("G", Type::array_2d(Type::f32(), n, m)))
+    }
+
+    fn grid3(
+        o: impl Into<ArithExpr>,
+        n: impl Into<ArithExpr>,
+        m: impl Into<ArithExpr>,
+    ) -> Expr {
+        Expr::Param(Param::fresh("G", Type::array_3d(Type::f32(), o, n, m)))
+    }
+
+    #[test]
+    fn map2_preserves_shape() {
+        let e = map2(id(), grid2(var("N"), var("M")));
+        let ty = typecheck(&e).unwrap();
+        assert_eq!(ty, Type::array_2d(Type::f32(), var("N"), var("M")));
+    }
+
+    #[test]
+    fn map3_preserves_shape() {
+        let e = map3(id(), grid3(2, 3, 4));
+        let ty = typecheck(&e).unwrap();
+        assert_eq!(ty, Type::array_3d(Type::f32(), 2, 3, 4));
+    }
+
+    #[test]
+    fn pad2_grows_both_dims() {
+        let e = pad2(1, 1, Boundary::Clamp, grid2(var("N"), var("M")));
+        let ty = typecheck(&e).unwrap();
+        assert_eq!(
+            ty,
+            Type::array_2d(Type::f32(), var("N") + 2, var("M") + 2)
+        );
+    }
+
+    #[test]
+    fn pad3_value_grows_all_dims() {
+        let e = pad3_value(1, 1, 0.0f32, grid3(var("O"), var("N"), var("M")));
+        let ty = typecheck(&e).unwrap();
+        assert_eq!(
+            ty,
+            Type::array_3d(Type::f32(), var("O") + 2, var("N") + 2, var("M") + 2)
+        );
+    }
+
+    #[test]
+    fn slide2_type_matches_paper() {
+        // slide2(2, 1) on a 3×3 grid: 2×2 grid of 2×2 neighbourhoods.
+        let e = slide2(2, 1, grid2(3, 3));
+        let ty = typecheck(&e).unwrap();
+        let expected = Type::array(
+            Type::array(Type::array_2d(Type::f32(), 2, 2), 2),
+            2,
+        );
+        assert_eq!(ty, expected);
+    }
+
+    #[test]
+    fn slide2_symbolic_counts() {
+        let e = slide2(3, 1, grid2(var("N"), var("M")));
+        let ty = typecheck(&e).unwrap();
+        let shape = ty.shape();
+        assert_eq!(shape[0], var("N") - 2);
+        assert_eq!(shape[1], var("M") - 2);
+        assert_eq!(shape[2], ArithExpr::from(3));
+        assert_eq!(shape[3], ArithExpr::from(3));
+    }
+
+    #[test]
+    fn slide3_produces_3d_neighbourhoods() {
+        let e = slide3(3, 1, grid3(var("O") + 2, var("N") + 2, var("M") + 2));
+        let ty = typecheck(&e).unwrap();
+        let shape = ty.shape();
+        assert_eq!(shape.len(), 6);
+        assert_eq!(shape[0], var("O"));
+        assert_eq!(shape[1], var("N"));
+        assert_eq!(shape[2], var("M"));
+        assert_eq!(shape[3], ArithExpr::from(3));
+        assert_eq!(shape[4], ArithExpr::from(3));
+        assert_eq!(shape[5], ArithExpr::from(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "expects an array")]
+    fn map_at_depth_on_scalar_panics() {
+        map_at_depth(1, id(), Expr::f32(0.0));
+    }
+
+    #[test]
+    fn zip2_2d_zips_every_dimension() {
+        let a = grid2(4, 6);
+        let b = grid2(4, 6);
+        let e = zip2_2d(a, b);
+        let ty = typecheck(&e).unwrap();
+        assert_eq!(
+            ty,
+            Type::array_2d(Type::Tuple(vec![Type::f32(), Type::f32()]), 4, 6)
+        );
+    }
+
+    #[test]
+    fn zip3_3d_zips_every_dimension() {
+        let (a, b, c) = (grid3(2, 3, 4), grid3(2, 3, 4), grid3(2, 3, 4));
+        let e = zip3_3d(a, b, c);
+        let ty = typecheck(&e).unwrap();
+        assert_eq!(
+            ty,
+            Type::array_3d(
+                Type::Tuple(vec![Type::f32(), Type::f32(), Type::f32()]),
+                2,
+                3,
+                4
+            )
+        );
+    }
+}

@@ -1,0 +1,98 @@
+//! Pretty printing of Lift expressions in the paper's surface notation.
+
+use std::fmt;
+
+use crate::expr::{Expr, FunDecl};
+
+/// Formats an expression; `depth` guards very deep nests.
+pub(crate) fn fmt_expr(e: &Expr, f: &mut fmt::Formatter<'_>, depth: usize) -> fmt::Result {
+    match e {
+        Expr::Param(p) => write!(f, "{}", p.name()),
+        Expr::Literal(s) => write!(f, "{s}"),
+        Expr::Apply(app) => {
+            fmt_fun(&app.fun, f, depth)?;
+            write!(f, "(")?;
+            for (i, a) in app.args.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                fmt_expr(a, f, depth + 1)?;
+            }
+            write!(f, ")")
+        }
+    }
+}
+
+/// Formats a function declaration.
+pub(crate) fn fmt_fun(fun: &FunDecl, f: &mut fmt::Formatter<'_>, depth: usize) -> fmt::Result {
+    match fun {
+        FunDecl::Lambda(l) => {
+            write!(f, "fun(")?;
+            for (i, p) in l.params.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{}", p.name())?;
+            }
+            write!(f, " => ")?;
+            fmt_expr(&l.body, f, depth + 1)?;
+            write!(f, ")")
+        }
+        FunDecl::UserFun(u) => write!(f, "{}", u.name()),
+        FunDecl::Pattern(p) => {
+            if let Some(nested) = p.nested_fun() {
+                // Print as e.g. `map(f)` so the applied argument list follows.
+                write!(f, "{}", pattern_head(p))?;
+                write!(f, "(")?;
+                fmt_fun(nested, f, depth + 1)?;
+                write!(f, ")")
+            } else {
+                write!(f, "{p}")
+            }
+        }
+    }
+}
+
+fn pattern_head(p: &crate::pattern::Pattern) -> String {
+    use crate::pattern::{MapKind, Pattern};
+    match p {
+        Pattern::Map {
+            kind: MapKind::Glb(d) | MapKind::Wrg(d) | MapKind::Lcl(d),
+            ..
+        } => format!("{}{}", p.name(), d),
+        Pattern::Iterate { times, .. } => format!("iterate({times})"),
+        _ => p.name().to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::build::*;
+    use crate::expr::{Expr, Param};
+    use crate::pattern::Boundary;
+    use crate::types::Type;
+    use crate::userfun::add_f32;
+    use lift_arith::ArithExpr;
+
+    #[test]
+    fn listing2_prints_like_the_paper() {
+        let n = ArithExpr::var("N");
+        let a = Expr::Param(Param::fresh("A", Type::array(Type::f32(), n)));
+        let sum = lam_named("nbh", Type::array(Type::f32(), 3), |nbh| {
+            reduce(add_f32(), Expr::f32(0.0), nbh)
+        });
+        let e = map(sum, slide(3, 1, pad(1, 1, Boundary::Clamp, a)));
+        let s = e.to_string();
+        assert_eq!(
+            s,
+            "map(fun(nbh => reduce(add)(0.0f, nbh)))(slide(3, 1)(pad(1, 1, clamp)(A)))"
+        );
+    }
+
+    #[test]
+    fn low_level_maps_show_dimension() {
+        let a = Expr::Param(Param::fresh("A", Type::array(Type::f32(), 8)));
+        let e = map_glb(0, id(), a);
+        assert_eq!(e.to_string(), "mapGlb0(id)(A)");
+    }
+}

@@ -1,0 +1,452 @@
+//! Structural type checking with symbolic array sizes.
+//!
+//! Every primitive's typing rule follows §3 of the paper; array sizes are
+//! [`ArithExpr`]s compared structurally after canonicalisation, which is
+//! exactly strong enough for the size algebra the stencil pipeline produces
+//! (`pad`/`slide`/`split`/`join`/`transpose` compositions and the overlapped
+//! tiling rewrite).
+
+use std::error::Error;
+use std::fmt;
+
+use lift_arith::ArithExpr;
+
+use crate::expr::{Expr, FunDecl};
+use crate::pattern::Pattern;
+use crate::types::Type;
+
+/// A type checking failure with a human-readable description.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TypeError {
+    msg: String,
+}
+
+impl TypeError {
+    fn new(msg: impl Into<String>) -> Self {
+        TypeError { msg: msg.into() }
+    }
+
+    /// The diagnostic message.
+    pub fn message(&self) -> &str {
+        &self.msg
+    }
+}
+
+impl fmt::Display for TypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "type error: {}", self.msg)
+    }
+}
+
+impl Error for TypeError {}
+
+macro_rules! bail {
+    ($($arg:tt)*) => {
+        return Err(TypeError::new(format!($($arg)*)))
+    };
+}
+
+/// Infers the type of an expression.
+///
+/// # Errors
+///
+/// Returns a [`TypeError`] describing the first ill-typed application found.
+pub fn typecheck(expr: &Expr) -> Result<Type, TypeError> {
+    match expr {
+        Expr::Param(p) => Ok(p.ty().clone()),
+        Expr::Literal(s) => Ok(Type::Scalar(s.kind())),
+        Expr::Apply(app) => {
+            let arg_tys: Result<Vec<Type>, TypeError> = app.args.iter().map(typecheck).collect();
+            apply_fun(&app.fun, &arg_tys?)
+        }
+    }
+}
+
+/// Infers the *result* type of a unary top-level function (the usual shape of
+/// a whole stencil program `fun(A => …)`).
+///
+/// # Errors
+///
+/// Fails if the declaration is not a lambda or its body is ill-typed.
+pub fn typecheck_fun(f: &FunDecl) -> Result<Type, TypeError> {
+    match f {
+        FunDecl::Lambda(l) => typecheck(&l.body),
+        other => bail!("expected a top-level lambda, found `{other}`"),
+    }
+}
+
+/// Computes the result type of applying `fun` to arguments of types `args`.
+///
+/// # Errors
+///
+/// Returns a [`TypeError`] if the application is ill-typed.
+pub fn apply_fun(fun: &FunDecl, args: &[Type]) -> Result<Type, TypeError> {
+    match fun {
+        FunDecl::Lambda(l) => {
+            if l.params.len() != args.len() {
+                bail!(
+                    "lambda of {} parameters applied to {} arguments",
+                    l.params.len(),
+                    args.len()
+                );
+            }
+            for (p, a) in l.params.iter().zip(args) {
+                if p.ty() != a {
+                    bail!(
+                        "lambda parameter `{}` has type {} but argument has type {a}",
+                        p.name(),
+                        p.ty()
+                    );
+                }
+            }
+            typecheck(&l.body)
+        }
+        FunDecl::UserFun(u) => {
+            if u.arity() != args.len() {
+                bail!(
+                    "user function `{}` of arity {} applied to {} arguments",
+                    u.name(),
+                    u.arity(),
+                    args.len()
+                );
+            }
+            for ((name, pty), a) in u.params().iter().zip(args) {
+                if pty != a {
+                    bail!(
+                        "user function `{}` parameter `{name}` expects {pty}, got {a}",
+                        u.name()
+                    );
+                }
+            }
+            Ok(u.ret().clone())
+        }
+        FunDecl::Pattern(p) => apply_pattern(p, args),
+    }
+}
+
+fn one_array<'a>(p: &Pattern, args: &'a [Type]) -> Result<(&'a Type, &'a ArithExpr), TypeError> {
+    if args.len() != 1 {
+        bail!("`{}` expects 1 argument, got {}", p.name(), args.len());
+    }
+    args[0]
+        .as_array()
+        .ok_or_else(|| TypeError::new(format!("`{}` expects an array, got {}", p.name(), args[0])))
+}
+
+fn apply_pattern(p: &Pattern, args: &[Type]) -> Result<Type, TypeError> {
+    match p {
+        Pattern::Map { f, .. } => {
+            let (elem, n) = one_array(p, args)?;
+            let out = apply_fun(f, std::slice::from_ref(elem))?;
+            Ok(Type::array(out, n.clone()))
+        }
+        Pattern::Reduce { f, .. } => {
+            if args.len() != 2 {
+                bail!("`reduce` expects (init, array), got {} arguments", args.len());
+            }
+            let init = &args[0];
+            let (elem, _) = args[1].as_array().ok_or_else(|| {
+                TypeError::new(format!("`reduce` expects an array input, got {}", args[1]))
+            })?;
+            let out = apply_fun(f, &[init.clone(), elem.clone()])?;
+            if &out != init {
+                bail!(
+                    "`reduce` operator must return the accumulator type {init}, returned {out}"
+                );
+            }
+            Ok(init.clone())
+        }
+        Pattern::Zip { arity } => {
+            if args.len() != *arity || *arity < 2 {
+                bail!("`zip` of arity {arity} applied to {} arguments", args.len());
+            }
+            let mut elems = Vec::with_capacity(*arity);
+            let (_, n0) = args[0]
+                .as_array()
+                .ok_or_else(|| TypeError::new(format!("`zip` expects arrays, got {}", args[0])))?;
+            for a in args {
+                let (e, n) = a
+                    .as_array()
+                    .ok_or_else(|| TypeError::new(format!("`zip` expects arrays, got {a}")))?;
+                if n != n0 {
+                    bail!("`zip` requires equal lengths, got {n0} and {n}");
+                }
+                elems.push(e.clone());
+            }
+            Ok(Type::array(Type::Tuple(elems), n0.clone()))
+        }
+        Pattern::Split { chunk } => {
+            let (elem, n) = one_array(p, args)?;
+            let outer = ArithExpr::div(n.clone(), chunk.clone());
+            Ok(Type::array(
+                Type::array(elem.clone(), chunk.clone()),
+                outer,
+            ))
+        }
+        Pattern::Join => {
+            let (elem, n) = one_array(p, args)?;
+            let (inner, m) = elem.as_array().ok_or_else(|| {
+                TypeError::new(format!("`join` expects a nested array, got {}", args[0]))
+            })?;
+            Ok(Type::array(inner.clone(), m.clone() * n.clone()))
+        }
+        Pattern::Transpose => {
+            let (elem, n) = one_array(p, args)?;
+            let (inner, m) = elem.as_array().ok_or_else(|| {
+                TypeError::new(format!(
+                    "`transpose` expects a nested array, got {}",
+                    args[0]
+                ))
+            })?;
+            Ok(Type::array(
+                Type::array(inner.clone(), n.clone()),
+                m.clone(),
+            ))
+        }
+        Pattern::Slide { size, step } => {
+            let (elem, n) = one_array(p, args)?;
+            // (n − size + step) / step neighbourhoods of length `size`.
+            let count = ArithExpr::div(n.clone() - size.clone() + step.clone(), step.clone());
+            Ok(Type::array(Type::array(elem.clone(), size.clone()), count))
+        }
+        Pattern::Pad { left, right, .. } => {
+            let (elem, n) = one_array(p, args)?;
+            Ok(Type::array(
+                elem.clone(),
+                left.clone() + n.clone() + right.clone(),
+            ))
+        }
+        Pattern::PadValue { left, right, value } => {
+            let (elem, n) = one_array(p, args)?;
+            match elem.leaf_scalar() {
+                Some(k) if k == value.kind() => {}
+                _ => bail!(
+                    "`padValue` constant {value} does not match element type {elem}"
+                ),
+            }
+            Ok(Type::array(
+                elem.clone(),
+                left.clone() + n.clone() + right.clone(),
+            ))
+        }
+        Pattern::At { .. } => {
+            let (elem, _) = one_array(p, args)?;
+            Ok(elem.clone())
+        }
+        Pattern::Get { index } => {
+            if args.len() != 1 {
+                bail!("`get` expects 1 argument, got {}", args.len());
+            }
+            let comps = args[0].as_tuple().ok_or_else(|| {
+                TypeError::new(format!("`get` expects a tuple, got {}", args[0]))
+            })?;
+            comps.get(*index).cloned().ok_or_else(|| {
+                TypeError::new(format!(
+                    "`get({index})` out of bounds for tuple of {} components",
+                    comps.len()
+                ))
+            })
+        }
+        Pattern::ArrayGen { fun, sizes } => {
+            if !args.is_empty() {
+                bail!("`array` generator takes no array arguments");
+            }
+            if sizes.is_empty() {
+                bail!("`array` generator needs at least one dimension");
+            }
+            if fun.arity() != 2 * sizes.len() {
+                bail!(
+                    "`array` generator `{}` must take {} i32 parameters ({} indices + {} sizes), has {}",
+                    fun.name(),
+                    2 * sizes.len(),
+                    sizes.len(),
+                    sizes.len(),
+                    fun.arity()
+                );
+            }
+            for (name, t) in fun.params() {
+                if t != &Type::i32() {
+                    bail!(
+                        "`array` generator `{}` parameter `{name}` must be i32, is {t}",
+                        fun.name()
+                    );
+                }
+            }
+            let mut ty = fun.ret().clone();
+            for s in sizes.iter().rev() {
+                ty = Type::array(ty, s.clone());
+            }
+            Ok(ty)
+        }
+        Pattern::Iterate { f, .. } => {
+            let (_, _) = one_array(p, args)?;
+            let out = apply_fun(f, args)?;
+            if out != args[0] {
+                bail!(
+                    "`iterate` body must preserve its type, got {} → {out}",
+                    args[0]
+                );
+            }
+            Ok(out)
+        }
+        Pattern::ToLocal { f } | Pattern::ToGlobal { f } | Pattern::ToPrivate { f } => {
+            apply_fun(f, args)
+        }
+        Pattern::Id => {
+            if args.len() != 1 {
+                bail!("`id` expects 1 argument, got {}", args.len());
+            }
+            Ok(args[0].clone())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::*;
+    use crate::expr::Param;
+    use crate::pattern::Boundary;
+    use crate::userfun::add_f32;
+
+    fn n() -> ArithExpr {
+        ArithExpr::var("N")
+    }
+
+    fn arr_f32(sz: impl Into<ArithExpr>) -> Type {
+        Type::array(Type::f32(), sz)
+    }
+
+    #[test]
+    fn literal_and_param_types() {
+        assert_eq!(typecheck(&Expr::f32(1.0)).unwrap(), Type::f32());
+        let p = Param::fresh("A", arr_f32(n()));
+        assert_eq!(typecheck(&Expr::Param(p)).unwrap(), arr_f32(n()));
+    }
+
+    #[test]
+    fn pad_grows_array() {
+        let p = Param::fresh("A", arr_f32(n()));
+        let e = pad(1, 2, Boundary::Clamp, Expr::Param(p));
+        assert_eq!(typecheck(&e).unwrap(), arr_f32(n() + 3));
+    }
+
+    #[test]
+    fn slide_counts_neighbourhoods() {
+        let p = Param::fresh("A", arr_f32(n()));
+        let e = slide(3, 1, pad(1, 1, Boundary::Clamp, Expr::Param(p)));
+        // (N+2 − 3 + 1)/1 = N neighbourhoods of size 3.
+        assert_eq!(
+            typecheck(&e).unwrap(),
+            Type::array(arr_f32(3), n())
+        );
+    }
+
+    #[test]
+    fn paper_listing2_types() {
+        // map(sumNbh, slide(3, 1, pad(1, 1, clamp, A))) : [f32]_N
+        let stencil = lam(arr_f32(n()), |a| {
+            let sum = lam(arr_f32(3), |nbh| reduce(add_f32(), Expr::f32(0.0), nbh));
+            map(sum, slide(3, 1, pad(1, 1, Boundary::Clamp, a)))
+        });
+        assert_eq!(typecheck_fun(&stencil).unwrap(), arr_f32(n()));
+    }
+
+    #[test]
+    fn split_join_roundtrip_type() {
+        let p = Param::fresh("A", arr_f32(16));
+        let e = join(split(4, Expr::Param(p)));
+        assert_eq!(typecheck(&e).unwrap(), arr_f32(16));
+    }
+
+    #[test]
+    fn transpose_swaps_dims() {
+        let p = Param::fresh("A", Type::array_2d(Type::f32(), n(), 4));
+        let e = transpose(Expr::Param(p));
+        assert_eq!(
+            typecheck(&e).unwrap(),
+            Type::array_2d(Type::f32(), 4, n())
+        );
+    }
+
+    #[test]
+    fn zip_requires_equal_lengths() {
+        let a = Param::fresh("A", arr_f32(n()));
+        let b = Param::fresh("B", arr_f32(n() + 1));
+        let e = zip2(Expr::Param(a), Expr::Param(b));
+        assert!(typecheck(&e).is_err());
+    }
+
+    #[test]
+    fn zip_produces_tuples() {
+        let a = Param::fresh("A", arr_f32(n()));
+        let b = Param::fresh("B", Type::array(Type::i32(), n()));
+        let e = zip2(Expr::Param(a), Expr::Param(b));
+        assert_eq!(
+            typecheck(&e).unwrap(),
+            Type::array(Type::Tuple(vec![Type::f32(), Type::i32()]), n())
+        );
+    }
+
+    #[test]
+    fn get_projects_components() {
+        let a = Param::fresh("A", arr_f32(n()));
+        let b = Param::fresh("B", Type::array(Type::i32(), n()));
+        let zipped = zip2(Expr::Param(a), Expr::Param(b));
+        let f = lam(Type::Tuple(vec![Type::f32(), Type::i32()]), |t| get(1, t));
+        let e = map(f, zipped);
+        assert_eq!(typecheck(&e).unwrap(), Type::array(Type::i32(), n()));
+    }
+
+    #[test]
+    fn reduce_checks_accumulator() {
+        let a = Param::fresh("A", arr_f32(n()));
+        // Using an i32 init with an f32 reduction operator must fail.
+        let e = reduce(add_f32(), Expr::i32(0), Expr::Param(a));
+        assert!(typecheck(&e).is_err());
+    }
+
+    #[test]
+    fn at_indexes_arrays() {
+        let a = Param::fresh("A", Type::array_2d(Type::f32(), n(), 3));
+        let row = at(1, Expr::Param(a));
+        assert_eq!(typecheck(&row).unwrap(), arr_f32(3));
+    }
+
+    #[test]
+    fn pad_value_kind_mismatch_rejected() {
+        let a = Param::fresh("A", arr_f32(n()));
+        let e = pad_value(1, 1, crate::scalar::Scalar::I32(0), Expr::Param(a));
+        let err = typecheck(&e).unwrap_err();
+        assert!(err.message().contains("padValue"));
+    }
+
+    #[test]
+    fn lambda_argument_mismatch_rejected() {
+        let f = lam(arr_f32(3), |x| x);
+        let a = Param::fresh("A", arr_f32(4));
+        let e = Expr::apply(f, [Expr::Param(a)]);
+        assert!(typecheck(&e).is_err());
+    }
+
+    #[test]
+    fn tiling_shape_algebra() {
+        // join(map(tile => map(f, slide(3,1,tile)), slide(u, u-2, A))) has
+        // the same element count as map(f, slide(3, 1, A)) for concrete
+        // sizes: N = 18, u = 6, v = 4: (18-6+4)/4 = 4 tiles, each (6-3+1) = 4
+        // neighbourhoods → join: 16 = (18-3+1)/1.
+        let a = Param::fresh("A", arr_f32(18));
+        let direct = slide(3, 1, Expr::Param(a.clone()));
+        let direct_ty = typecheck(&direct).unwrap();
+        assert_eq!(direct_ty.shape()[0], ArithExpr::from(16));
+
+        let tiles = slide(6, 4, Expr::Param(a));
+        let nested = map(
+            lam(arr_f32(6), |tile| slide(3, 1, tile)),
+            tiles,
+        );
+        let joined = join(nested);
+        let ty = typecheck(&joined).unwrap();
+        assert_eq!(ty.shape()[0], ArithExpr::from(16));
+    }
+}

@@ -1,0 +1,217 @@
+//! Lift types: scalars, tuples and arrays with symbolic sizes.
+
+use std::fmt;
+
+use lift_arith::{ArithExpr, ArithEnv, EvalArithError};
+
+use crate::scalar::ScalarKind;
+
+/// A Lift type.
+///
+/// Arrays carry their length *in the type* as a symbolic [`ArithExpr`]
+/// (written `[T]_n` in the paper); nesting encodes multi-dimensionality.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Type {
+    /// A scalar.
+    Scalar(ScalarKind),
+    /// A tuple `{T1, …, Tk}` as produced by `zip`.
+    Tuple(Vec<Type>),
+    /// An array `[T]_n`.
+    Array(Box<Type>, ArithExpr),
+}
+
+impl Type {
+    /// The `f32` scalar type.
+    pub fn f32() -> Type {
+        Type::Scalar(ScalarKind::F32)
+    }
+
+    /// The `i32` scalar type.
+    pub fn i32() -> Type {
+        Type::Scalar(ScalarKind::I32)
+    }
+
+    /// The `bool` scalar type.
+    pub fn bool() -> Type {
+        Type::Scalar(ScalarKind::Bool)
+    }
+
+    /// Builds `[elem]_n`.
+    pub fn array(elem: Type, n: impl Into<ArithExpr>) -> Type {
+        Type::Array(Box::new(elem), n.into())
+    }
+
+    /// Builds the 2D array `[[elem]_cols]_rows`.
+    pub fn array_2d(elem: Type, rows: impl Into<ArithExpr>, cols: impl Into<ArithExpr>) -> Type {
+        Type::array(Type::array(elem, cols), rows)
+    }
+
+    /// Builds the 3D array `[[[elem]_x]_y]_z` (outermost size first).
+    pub fn array_3d(
+        elem: Type,
+        z: impl Into<ArithExpr>,
+        y: impl Into<ArithExpr>,
+        x: impl Into<ArithExpr>,
+    ) -> Type {
+        Type::array(Type::array_2d(elem, y, x), z)
+    }
+
+    /// For an array type, its element type and length.
+    pub fn as_array(&self) -> Option<(&Type, &ArithExpr)> {
+        match self {
+            Type::Array(t, n) => Some((t, n)),
+            _ => None,
+        }
+    }
+
+    /// For a tuple type, its component types.
+    pub fn as_tuple(&self) -> Option<&[Type]> {
+        match self {
+            Type::Tuple(ts) => Some(ts),
+            _ => None,
+        }
+    }
+
+    /// For a scalar type, its kind.
+    pub fn as_scalar(&self) -> Option<ScalarKind> {
+        match self {
+            Type::Scalar(k) => Some(*k),
+            _ => None,
+        }
+    }
+
+    /// Number of leading array dimensions.
+    ///
+    /// ```
+    /// use lift_core::types::Type;
+    /// assert_eq!(Type::array_2d(Type::f32(), 4, 8).dims(), 2);
+    /// ```
+    pub fn dims(&self) -> usize {
+        match self {
+            Type::Array(t, _) => 1 + t.dims(),
+            _ => 0,
+        }
+    }
+
+    /// The sizes of the leading array dimensions, outermost first.
+    pub fn shape(&self) -> Vec<ArithExpr> {
+        let mut out = Vec::new();
+        let mut t = self;
+        while let Type::Array(inner, n) = t {
+            out.push(n.clone());
+            t = inner;
+        }
+        out
+    }
+
+    /// The type below all leading array dimensions.
+    pub fn leaf(&self) -> &Type {
+        match self {
+            Type::Array(t, _) => t.leaf(),
+            other => other,
+        }
+    }
+
+    /// The scalar kind at the leaf, if the leaf is a scalar.
+    pub fn leaf_scalar(&self) -> Option<ScalarKind> {
+        self.leaf().as_scalar()
+    }
+
+    /// Total number of scalar elements under `env` (arrays only).
+    ///
+    /// # Errors
+    ///
+    /// Fails if a size expression mentions an unbound variable.
+    pub fn element_count(&self, env: &impl ArithEnv) -> Result<usize, EvalArithError> {
+        match self {
+            Type::Scalar(_) => Ok(1),
+            Type::Tuple(ts) => {
+                let mut total = 0;
+                for t in ts {
+                    total += t.element_count(env)?;
+                }
+                Ok(total)
+            }
+            Type::Array(t, n) => Ok(t.element_count(env)? * n.eval_usize(env)?),
+        }
+    }
+
+    /// Substitutes an arithmetic variable in every size expression.
+    pub fn substitute(&self, name: &str, replacement: &ArithExpr) -> Type {
+        match self {
+            Type::Scalar(_) => self.clone(),
+            Type::Tuple(ts) => {
+                Type::Tuple(ts.iter().map(|t| t.substitute(name, replacement)).collect())
+            }
+            Type::Array(t, n) => Type::Array(
+                Box::new(t.substitute(name, replacement)),
+                n.substitute(name, replacement),
+            ),
+        }
+    }
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Type::Scalar(k) => write!(f, "{k}"),
+            Type::Tuple(ts) => {
+                write!(f, "{{")?;
+                for (i, t) in ts.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{t}")?;
+                }
+                write!(f, "}}")
+            }
+            Type::Array(t, n) => write!(f, "[{t}]_{n}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lift_arith::Bindings;
+
+    #[test]
+    fn shape_and_dims() {
+        let n = ArithExpr::var("N");
+        let t = Type::array_3d(Type::f32(), n.clone(), 8, 4);
+        assert_eq!(t.dims(), 3);
+        assert_eq!(t.shape(), vec![n, ArithExpr::from(8), ArithExpr::from(4)]);
+        assert_eq!(t.leaf(), &Type::f32());
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        let t = Type::array(Type::f32(), ArithExpr::var("N"));
+        assert_eq!(t.to_string(), "[f32]_N");
+        let tup = Type::Tuple(vec![Type::f32(), Type::i32()]);
+        assert_eq!(tup.to_string(), "{f32, i32}");
+    }
+
+    #[test]
+    fn element_count_evaluates() {
+        let t = Type::array_2d(Type::f32(), ArithExpr::var("N"), 4);
+        let env = Bindings::from_iter([("N", 8)]);
+        assert_eq!(t.element_count(&env).unwrap(), 32);
+    }
+
+    #[test]
+    fn substitute_sizes() {
+        let t = Type::array(Type::f32(), ArithExpr::var("N") + 2);
+        let s = t.substitute("N", &ArithExpr::from(6));
+        assert_eq!(s, Type::array(Type::f32(), 8));
+    }
+
+    #[test]
+    fn leaf_scalar() {
+        assert_eq!(
+            Type::array_2d(Type::i32(), 2, 2).leaf_scalar(),
+            Some(ScalarKind::I32)
+        );
+        assert_eq!(Type::Tuple(vec![Type::f32()]).leaf_scalar(), None);
+    }
+}

@@ -1,0 +1,243 @@
+//! User functions: opaque scalar operations with both C source (embedded in
+//! generated OpenCL kernels) and Rust semantics (used by the virtual device
+//! and the reference interpreter).
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::scalar::Scalar;
+use crate::types::Type;
+
+/// The executable semantics of a user function.
+pub type UserFunImpl = dyn Fn(&[Scalar]) -> Scalar + Send + Sync;
+
+/// An arbitrary scalar function, written in C and embedded into generated
+/// OpenCL code, with a parallel Rust implementation for simulation.
+///
+/// This mirrors the paper's `userFun` primitive: *"userFuns define arbitrary
+/// functions which operate on scalar values. These functions are written in C
+/// and are embedded in the generated OpenCL code."*
+///
+/// # Example
+///
+/// ```
+/// use lift_core::userfun::UserFun;
+/// use lift_core::types::Type;
+/// use lift_core::scalar::Scalar;
+///
+/// let square = UserFun::new(
+///     "square",
+///     [("x", Type::f32())],
+///     Type::f32(),
+///     "return x * x;",
+///     |args| Scalar::F32(args[0].as_f32() * args[0].as_f32()),
+/// );
+/// assert_eq!(square.arity(), 1);
+/// ```
+pub struct UserFun {
+    name: String,
+    params: Vec<(String, Type)>,
+    ret: Type,
+    c_body: String,
+    eval: Arc<UserFunImpl>,
+}
+
+impl UserFun {
+    /// Creates a user function.
+    ///
+    /// `c_body` is the body of the C function (including `return`); the
+    /// signature is generated from `params`/`ret` when the kernel is printed.
+    /// `eval` must implement identical semantics in Rust.
+    pub fn new<S: Into<String>>(
+        name: impl Into<String>,
+        params: impl IntoIterator<Item = (S, Type)>,
+        ret: Type,
+        c_body: impl Into<String>,
+        eval: impl Fn(&[Scalar]) -> Scalar + Send + Sync + 'static,
+    ) -> Arc<UserFun> {
+        Arc::new(UserFun {
+            name: name.into(),
+            params: params
+                .into_iter()
+                .map(|(n, t)| (n.into(), t))
+                .collect(),
+            ret,
+            c_body: c_body.into(),
+            eval: Arc::new(eval),
+        })
+    }
+
+    /// The function name (also the C identifier).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The parameter names and types.
+    pub fn params(&self) -> &[(String, Type)] {
+        &self.params
+    }
+
+    /// Number of parameters.
+    pub fn arity(&self) -> usize {
+        self.params.len()
+    }
+
+    /// The return type.
+    pub fn ret(&self) -> &Type {
+        &self.ret
+    }
+
+    /// The C body embedded into generated kernels.
+    pub fn c_body(&self) -> &str {
+        &self.c_body
+    }
+
+    /// Renders the complete C function definition.
+    pub fn c_definition(&self) -> String {
+        let params: Vec<String> = self
+            .params
+            .iter()
+            .map(|(n, t)| {
+                let c = t
+                    .as_scalar()
+                    .map(|k| k.c_name())
+                    .unwrap_or("float /* non-scalar */");
+                format!("{c} {n}")
+            })
+            .collect();
+        let ret = self
+            .ret
+            .as_scalar()
+            .map(|k| k.c_name())
+            .unwrap_or("float /* non-scalar */");
+        format!(
+            "{ret} {name}({params}) {{ {body} }}",
+            name = self.name,
+            params = params.join(", "),
+            body = self.c_body,
+        )
+    }
+
+    /// Evaluates the function on scalar arguments (simulation semantics).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the argument count differs from the arity — applications are
+    /// typechecked, so this indicates a compiler bug.
+    pub fn call(&self, args: &[Scalar]) -> Scalar {
+        assert_eq!(
+            args.len(),
+            self.arity(),
+            "user function `{}` called with wrong arity",
+            self.name
+        );
+        (self.eval)(args)
+    }
+}
+
+impl fmt::Debug for UserFun {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("UserFun")
+            .field("name", &self.name)
+            .field("params", &self.params)
+            .field("ret", &self.ret)
+            .finish_non_exhaustive()
+    }
+}
+
+impl fmt::Display for UserFun {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name)
+    }
+}
+
+impl PartialEq for UserFun {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name && self.params == other.params && self.ret == other.ret
+    }
+}
+
+/// `float add(float a, float b) { return a + b; }`
+pub fn add_f32() -> Arc<UserFun> {
+    UserFun::new(
+        "add",
+        [("a", Type::f32()), ("b", Type::f32())],
+        Type::f32(),
+        "return a + b;",
+        |args| Scalar::F32(args[0].as_f32() + args[1].as_f32()),
+    )
+}
+
+/// `float mult(float a, float b) { return a * b; }`
+pub fn mul_f32() -> Arc<UserFun> {
+    UserFun::new(
+        "mult",
+        [("a", Type::f32()), ("b", Type::f32())],
+        Type::f32(),
+        "return a * b;",
+        |args| Scalar::F32(args[0].as_f32() * args[1].as_f32()),
+    )
+}
+
+/// `float maxf(float a, float b) { return fmax(a, b); }`
+pub fn max_f32() -> Arc<UserFun> {
+    UserFun::new(
+        "maxf",
+        [("a", Type::f32()), ("b", Type::f32())],
+        Type::f32(),
+        "return fmax(a, b);",
+        |args| Scalar::F32(args[0].as_f32().max(args[1].as_f32())),
+    )
+}
+
+/// `float id(float x) { return x; }` — the identity used by copy patterns
+/// such as `toLocal(map(id))` (§4.2 of the paper).
+pub fn id_f32() -> Arc<UserFun> {
+    UserFun::new(
+        "id",
+        [("x", Type::f32())],
+        Type::f32(),
+        "return x;",
+        |args| args[0],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_semantics() {
+        assert_eq!(
+            add_f32().call(&[Scalar::F32(1.0), Scalar::F32(2.5)]),
+            Scalar::F32(3.5)
+        );
+        assert_eq!(
+            mul_f32().call(&[Scalar::F32(2.0), Scalar::F32(4.0)]),
+            Scalar::F32(8.0)
+        );
+        assert_eq!(
+            max_f32().call(&[Scalar::F32(2.0), Scalar::F32(4.0)]),
+            Scalar::F32(4.0)
+        );
+        assert_eq!(id_f32().call(&[Scalar::F32(9.0)]), Scalar::F32(9.0));
+    }
+
+    #[test]
+    fn c_definition_renders() {
+        let def = add_f32().c_definition();
+        assert_eq!(def, "float add(float a, float b) { return a + b; }");
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong arity")]
+    fn wrong_arity_panics() {
+        add_f32().call(&[Scalar::F32(1.0)]);
+    }
+
+    #[test]
+    fn equality_is_structural() {
+        assert_eq!(*add_f32(), *add_f32());
+        assert_ne!(*add_f32(), *mul_f32());
+    }
+}

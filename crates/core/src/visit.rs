@@ -1,0 +1,305 @@
+//! Generic traversal and rewriting over Lift expressions.
+//!
+//! The rewrite-rule engine (crate `lift-rewrite`) expresses every
+//! optimisation as a local transformation `Expr → Option<Expr>`; this module
+//! supplies the machinery to apply such transformations at specific
+//! positions, everywhere, or to enumerate candidate positions. Traversal
+//! descends through `Apply` arguments *and* into the bodies of lambdas and
+//! pattern-nested functions, so rules can fire anywhere in a program.
+
+use crate::expr::{Expr, FunDecl, Lambda};
+use crate::pattern::Pattern;
+
+/// A local rewrite: returns the replacement when it matches at this node.
+pub type LocalRewrite<'a> = &'a dyn Fn(&Expr) -> Option<Expr>;
+
+/// Applies `rule` at the first matching node (pre-order), returning the
+/// rewritten expression, or `None` if the rule matched nowhere.
+pub fn rewrite_first(e: &Expr, rule: LocalRewrite) -> Option<Expr> {
+    if let Some(new) = rule(e) {
+        return Some(new);
+    }
+    match e {
+        Expr::Param(_) | Expr::Literal(_) => None,
+        Expr::Apply(app) => {
+            if let Some(new_fun) = rewrite_first_fun(&app.fun, rule) {
+                return Some(Expr::apply(new_fun, app.args.iter().cloned()));
+            }
+            for (i, a) in app.args.iter().enumerate() {
+                if let Some(new_a) = rewrite_first(a, rule) {
+                    let mut args = app.args.clone();
+                    args[i] = new_a;
+                    return Some(Expr::apply(app.fun.clone(), args));
+                }
+            }
+            None
+        }
+    }
+}
+
+fn rewrite_first_fun(f: &FunDecl, rule: LocalRewrite) -> Option<FunDecl> {
+    match f {
+        FunDecl::Lambda(l) => rewrite_first(&l.body, rule)
+            .map(|body| FunDecl::lambda(l.params.clone(), body)),
+        FunDecl::UserFun(_) => None,
+        FunDecl::Pattern(p) => rewrite_first_pattern(p, rule).map(FunDecl::pattern),
+    }
+}
+
+fn rewrite_first_pattern(p: &Pattern, rule: LocalRewrite) -> Option<Pattern> {
+    let nested = p.nested_fun()?;
+    let new = rewrite_first_fun(nested, rule)?;
+    let mut out = p.clone();
+    *out.nested_fun_mut().expect("pattern had a nested fun") = new;
+    Some(out)
+}
+
+/// Applies `rule` wherever it matches, bottom-up, at most once per node.
+///
+/// Because children are rewritten before parents, a rule whose output
+/// re-matches its own input does not loop.
+pub fn rewrite_everywhere(e: &Expr, rule: LocalRewrite) -> Expr {
+    let rebuilt = match e {
+        Expr::Param(_) | Expr::Literal(_) => e.clone(),
+        Expr::Apply(app) => {
+            let fun = rewrite_everywhere_fun(&app.fun, rule);
+            let args: Vec<Expr> = app
+                .args
+                .iter()
+                .map(|a| rewrite_everywhere(a, rule))
+                .collect();
+            Expr::apply(fun, args)
+        }
+    };
+    rule(&rebuilt).unwrap_or(rebuilt)
+}
+
+fn rewrite_everywhere_fun(f: &FunDecl, rule: LocalRewrite) -> FunDecl {
+    match f {
+        FunDecl::Lambda(l) => {
+            FunDecl::lambda(l.params.clone(), rewrite_everywhere(&l.body, rule))
+        }
+        FunDecl::UserFun(_) => f.clone(),
+        FunDecl::Pattern(p) => {
+            if p.nested_fun().is_some() {
+                let mut out = p.as_ref().clone();
+                let nested = out.nested_fun_mut().expect("checked above");
+                *nested = rewrite_everywhere_fun(nested, rule);
+                FunDecl::pattern(out)
+            } else {
+                f.clone()
+            }
+        }
+    }
+}
+
+/// Pre-order positions (0-based) at which `pred` holds.
+///
+/// Positions index expression nodes only, but the traversal descends into
+/// lambda bodies, so rules can target nodes inside nested functions.
+pub fn find_positions(e: &Expr, pred: &dyn Fn(&Expr) -> bool) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut idx = 0;
+    walk(e, &mut |node| {
+        if pred(node) {
+            out.push(idx);
+        }
+        idx += 1;
+    });
+    out
+}
+
+/// Applies `rule` only at pre-order position `pos`.
+///
+/// Returns `None` if the position does not exist or the rule does not match
+/// there.
+pub fn rewrite_at(e: &Expr, pos: usize, rule: LocalRewrite) -> Option<Expr> {
+    let mut idx = 0usize;
+    rewrite_at_inner(e, pos, &mut idx, rule)
+}
+
+fn rewrite_at_inner(
+    e: &Expr,
+    pos: usize,
+    idx: &mut usize,
+    rule: LocalRewrite,
+) -> Option<Expr> {
+    let here = *idx;
+    *idx += 1;
+    if here == pos {
+        return rule(e);
+    }
+    match e {
+        Expr::Param(_) | Expr::Literal(_) => None,
+        Expr::Apply(app) => {
+            if let Some(new_fun) = rewrite_at_fun(&app.fun, pos, idx, rule) {
+                return Some(Expr::apply(new_fun, app.args.iter().cloned()));
+            }
+            for (i, a) in app.args.iter().enumerate() {
+                if let Some(new_a) = rewrite_at_inner(a, pos, idx, rule) {
+                    let mut args = app.args.clone();
+                    args[i] = new_a;
+                    return Some(Expr::apply(app.fun.clone(), args));
+                }
+            }
+            None
+        }
+    }
+}
+
+fn rewrite_at_fun(
+    f: &FunDecl,
+    pos: usize,
+    idx: &mut usize,
+    rule: LocalRewrite,
+) -> Option<FunDecl> {
+    match f {
+        FunDecl::Lambda(l) => rewrite_at_inner(&l.body, pos, idx, rule)
+            .map(|body| FunDecl::lambda(l.params.clone(), body)),
+        FunDecl::UserFun(_) => None,
+        FunDecl::Pattern(p) => {
+            let nested = p.nested_fun()?;
+            let new = rewrite_at_fun(nested, pos, idx, rule)?;
+            let mut out = p.as_ref().clone();
+            *out.nested_fun_mut().expect("pattern had a nested fun") = new;
+            Some(FunDecl::pattern(out))
+        }
+    }
+}
+
+/// Pre-order walk over every expression node (including inside lambdas).
+pub fn walk(e: &Expr, visit: &mut dyn FnMut(&Expr)) {
+    visit(e);
+    if let Expr::Apply(app) = e {
+        walk_fun(&app.fun, visit);
+        for a in &app.args {
+            walk(a, visit);
+        }
+    }
+}
+
+fn walk_fun(f: &FunDecl, visit: &mut dyn FnMut(&Expr)) {
+    match f {
+        FunDecl::Lambda(l) => walk(&l.body, visit),
+        FunDecl::UserFun(_) => {}
+        FunDecl::Pattern(p) => {
+            if let Some(nested) = p.nested_fun() {
+                walk_fun(nested, visit);
+            }
+        }
+    }
+}
+
+/// Counts expression nodes (as visited by [`walk`]).
+pub fn count_nodes(e: &Expr) -> usize {
+    let mut n = 0;
+    walk(e, &mut |_| n += 1);
+    n
+}
+
+/// Rebuilds a lambda with a transformed body, keeping the parameters.
+pub fn map_lambda_body(l: &Lambda, f: impl FnOnce(&Expr) -> Expr) -> FunDecl {
+    FunDecl::lambda(l.params.clone(), f(&l.body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::*;
+    use crate::expr::Param;
+    use crate::pattern::{Boundary, MapKind};
+    use crate::types::Type;
+    use lift_arith::ArithExpr;
+
+    fn sample() -> Expr {
+        let a = Expr::Param(Param::fresh("A", Type::array(Type::f32(), ArithExpr::var("N"))));
+        map(id(), slide(3, 1, pad(1, 1, Boundary::Clamp, a)))
+    }
+
+    fn is_slide(e: &Expr) -> bool {
+        matches!(e.applied_pattern(), Some(Pattern::Slide { .. }))
+    }
+
+    #[test]
+    fn walk_visits_all_nodes() {
+        // map(id)(slide(pad(A))): nodes = map-apply, slide-apply, pad-apply, A.
+        assert_eq!(count_nodes(&sample()), 4);
+    }
+
+    #[test]
+    fn find_positions_locates_slide() {
+        let pos = find_positions(&sample(), &is_slide);
+        assert_eq!(pos, vec![1]);
+    }
+
+    #[test]
+    fn rewrite_first_replaces_once() {
+        // Replace the slide node by its own input (drops the slide).
+        let rule = |e: &Expr| -> Option<Expr> {
+            if is_slide(e) {
+                Some(e.as_apply().expect("apply").args[0].clone())
+            } else {
+                None
+            }
+        };
+        let out = rewrite_first(&sample(), &rule).expect("matched");
+        assert_eq!(find_positions(&out, &is_slide), Vec::<usize>::new());
+        assert_eq!(count_nodes(&out), 3);
+    }
+
+    #[test]
+    fn rewrite_at_position() {
+        let rule = |e: &Expr| -> Option<Expr> {
+            is_slide(e).then(|| e.as_apply().expect("apply").args[0].clone())
+        };
+        assert!(rewrite_at(&sample(), 0, &rule).is_none()); // map node: no match
+        assert!(rewrite_at(&sample(), 1, &rule).is_some()); // slide node
+        assert!(rewrite_at(&sample(), 99, &rule).is_none()); // out of range
+    }
+
+    #[test]
+    fn rewrite_everywhere_descends_into_lambdas() {
+        // map(λx. slide(3,1,x)) — the slide sits inside a lambda body.
+        let a = Expr::Param(Param::fresh(
+            "A",
+            Type::array_2d(Type::f32(), ArithExpr::var("N"), 8),
+        ));
+        let e = map(lam(Type::array(Type::f32(), 8), |row| slide(3, 1, row)), a);
+        // find_positions descends into the lambda body and sees the slide.
+        let pos = find_positions(&e, &is_slide);
+        assert_eq!(pos.len(), 1);
+        // rewrite_first also reaches it.
+        let rule = |node: &Expr| -> Option<Expr> {
+            is_slide(node).then(|| node.as_apply().expect("apply").args[0].clone())
+        };
+        let out = rewrite_first(&e, &rule).expect("matched inside lambda");
+        assert_eq!(find_positions(&out, &is_slide).len(), 0);
+    }
+
+    #[test]
+    fn rewrite_everywhere_changes_map_kinds() {
+        let out = rewrite_everywhere(&sample(), &|e| match e.applied_pattern() {
+            Some(Pattern::Map {
+                kind: MapKind::Par,
+                f,
+            }) => Some(Expr::apply(
+                FunDecl::pattern(Pattern::Map {
+                    kind: MapKind::Glb(0),
+                    f: f.clone(),
+                }),
+                e.as_apply().expect("apply").args.iter().cloned(),
+            )),
+            _ => None,
+        });
+        let glb = find_positions(&out, &|e| {
+            matches!(
+                e.applied_pattern(),
+                Some(Pattern::Map {
+                    kind: MapKind::Glb(0),
+                    ..
+                })
+            )
+        });
+        assert_eq!(glb.len(), 1);
+    }
+}

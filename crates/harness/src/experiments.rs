@@ -1,0 +1,184 @@
+//! The paper's experiments: Table 1, Figure 7, Figure 8 and the ablation
+//! study over the rewrite rules.
+
+use lift_oclsim::{DeviceProfile, VirtualDevice};
+use lift_stencils::{by_name, fig7_names, fig8_names, suite};
+
+use crate::pipeline::{run_reference, tune_lift, tune_ppcg};
+use crate::{seed, tune_budget};
+
+/// One cell of Figure 7: Lift vs the hand-written kernel.
+#[derive(Debug, Clone)]
+pub struct Fig7Row {
+    /// Benchmark name.
+    pub bench: String,
+    /// Device name.
+    pub device: String,
+    /// Lift throughput in giga-elements/s.
+    pub lift_gelems: f64,
+    /// Reference throughput in giga-elements/s.
+    pub reference_gelems: f64,
+    /// The winning Lift variant name.
+    pub lift_variant: String,
+    /// Whether the winning Lift kernel tiles.
+    pub lift_tiled: bool,
+}
+
+/// Runs the Figure-7 experiment (6 benchmarks × 3 devices).
+pub fn fig7() -> Vec<Fig7Row> {
+    let budget = tune_budget();
+    let seed = seed();
+    let mut rows = Vec::new();
+    for dev_profile in DeviceProfile::all() {
+        let dev = VirtualDevice::new(dev_profile);
+        for name in fig7_names() {
+            let bench = by_name(name);
+            let sizes = bench.size(false);
+            let lift = tune_lift(&bench, &sizes, &dev, budget, seed);
+            let reference = run_reference(&bench, &sizes, &dev, seed);
+            rows.push(Fig7Row {
+                bench: name.to_string(),
+                device: dev.profile().name.to_string(),
+                lift_gelems: lift.winner.gelems_per_s,
+                reference_gelems: reference.gelems_per_s,
+                lift_variant: lift.winner.name.clone(),
+                lift_tiled: lift.winner.tiled,
+            });
+        }
+    }
+    rows
+}
+
+/// One cell of Figure 8: the Lift speedup over PPCG.
+#[derive(Debug, Clone)]
+pub struct Fig8Row {
+    /// Benchmark name.
+    pub bench: String,
+    /// Device name.
+    pub device: String,
+    /// `"small"` or `"large"`.
+    pub size: &'static str,
+    /// Lift time / PPCG time speedup (> 1 means Lift wins).
+    pub speedup: f64,
+    /// The winning Lift variant name.
+    pub lift_variant: String,
+    /// Whether the winning Lift kernel tiles.
+    pub lift_tiled: bool,
+}
+
+/// Runs the Figure-8 experiment (8 benchmarks × {small, large} × 3
+/// devices). As in the paper, the large sizes are skipped on the ARM GPU
+/// (*"Large input sizes did not fit onto the ARM GPU"*).
+pub fn fig8() -> Vec<Fig8Row> {
+    let budget = tune_budget();
+    let seed = seed();
+    let mut rows = Vec::new();
+    for dev_profile in DeviceProfile::all() {
+        let dev = VirtualDevice::new(dev_profile);
+        let is_arm = dev.profile().name.contains("Mali");
+        for name in fig8_names() {
+            let bench = by_name(name);
+            for (size_name, large) in [("small", false), ("large", true)] {
+                if large && is_arm {
+                    continue;
+                }
+                let sizes = bench.size(large);
+                let lift = tune_lift(&bench, &sizes, &dev, budget, seed);
+                let Some(ppcg) = tune_ppcg(&bench, &sizes, &dev, budget, seed) else {
+                    continue;
+                };
+                rows.push(Fig8Row {
+                    bench: name.to_string(),
+                    device: dev.profile().name.to_string(),
+                    size: size_name,
+                    speedup: ppcg.time_s / lift.winner.time_s,
+                    lift_variant: lift.winner.name.clone(),
+                    lift_tiled: lift.winner.tiled,
+                });
+            }
+        }
+    }
+    rows
+}
+
+/// One row of the ablation study: per-variant best throughput.
+#[derive(Debug, Clone)]
+pub struct AblationRow {
+    /// Benchmark name.
+    pub bench: String,
+    /// Device name.
+    pub device: String,
+    /// Variant name.
+    pub variant: String,
+    /// Best throughput achieved by this variant.
+    pub gelems: f64,
+    /// Slowdown relative to the benchmark's overall winner (1.0 = winner).
+    pub rel_to_best: f64,
+}
+
+/// Per-variant ablation over the rewrite-rule space (§4): quantifies what
+/// each optimisation (tiling, local memory, unrolling, coarsening) is worth
+/// on each device.
+pub fn ablation(bench_names: &[&str]) -> Vec<AblationRow> {
+    let budget = tune_budget();
+    let seed = seed();
+    let mut rows = Vec::new();
+    for dev_profile in DeviceProfile::all() {
+        let dev = VirtualDevice::new(dev_profile);
+        for name in bench_names {
+            let bench = by_name(name);
+            let sizes = bench.size(false);
+            let result = tune_lift(&bench, &sizes, &dev, budget, seed);
+            let best = result.winner.gelems_per_s;
+            for v in &result.all {
+                rows.push(AblationRow {
+                    bench: name.to_string(),
+                    device: dev.profile().name.to_string(),
+                    variant: v.name.clone(),
+                    gelems: v.gelems_per_s,
+                    rel_to_best: v.gelems_per_s / best,
+                });
+            }
+        }
+    }
+    rows
+}
+
+/// One row of Table 1.
+#[derive(Debug, Clone)]
+pub struct Table1Row {
+    /// Benchmark name.
+    pub bench: String,
+    /// Dimensionality.
+    pub dims: usize,
+    /// Stencil points.
+    pub points: usize,
+    /// Input size used (scaled).
+    pub input_size: String,
+    /// The paper's input size.
+    pub paper_size: String,
+    /// Number of grids.
+    pub grids: usize,
+}
+
+/// Regenerates Table 1 (benchmark inventory).
+pub fn table1() -> Vec<Table1Row> {
+    suite()
+        .iter()
+        .map(|b| Table1Row {
+            bench: b.name.to_string(),
+            dims: b.dims,
+            points: b.points,
+            input_size: fmt_size(b.small),
+            paper_size: fmt_size(b.paper_small),
+            grids: b.grids,
+        })
+        .collect()
+}
+
+fn fmt_size(s: &[usize]) -> String {
+    s.iter()
+        .map(|d| d.to_string())
+        .collect::<Vec<_>>()
+        .join("×")
+}

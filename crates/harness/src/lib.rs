@@ -1,0 +1,36 @@
+//! Experiment drivers reproducing the paper's evaluation (§6–§7).
+//!
+//! The [`pipeline`] module runs the full Lift flow for one benchmark on one
+//! virtual device: enumerate rewrite variants → bind tunables → generate
+//! OpenCL → execute on the simulator → validate against the golden
+//! reference → keep the fastest modeled configuration. [`experiments`]
+//! builds Figures 7 and 8 and the Table-1/ablation reports from it.
+//!
+//! Environment knobs (all optional):
+//!
+//! * `LIFT_TUNE_BUDGET` — evaluations per (variant, device); default 10.
+//! * `LIFT_FULL_SIZES=1` — use the paper's original grid sizes (slow).
+//! * `LIFT_SEED` — experiment seed; default 2018 (the CGO year).
+
+pub mod experiments;
+pub mod pipeline;
+pub mod report;
+
+pub use experiments::{ablation, fig7, fig8, table1, AblationRow, Fig7Row, Fig8Row};
+pub use pipeline::{run_reference, tune_lift, tune_ppcg, BenchResult, TunedVariant};
+
+/// The tuning budget per variant/device pair.
+pub fn tune_budget() -> usize {
+    std::env::var("LIFT_TUNE_BUDGET")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10)
+}
+
+/// The experiment seed.
+pub fn seed() -> u64 {
+    std::env::var("LIFT_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2018)
+}

@@ -1,0 +1,41 @@
+//! Command-line driver for the paper's experiments.
+//!
+//! ```text
+//! lift-harness table1     # Table 1 (benchmark inventory)
+//! lift-harness fig7       # Figure 7 (Lift vs hand-written kernels)
+//! lift-harness fig8       # Figure 8 (Lift vs PPCG)
+//! lift-harness ablation   # per-variant rewrite-rule ablation
+//! lift-harness all        # everything above
+//! ```
+
+use lift_harness::{ablation, fig7, fig8, table1};
+use lift_harness::report::{render_ablation, render_fig7, render_fig8, render_table1};
+
+fn main() {
+    let cmd = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    match cmd.as_str() {
+        "table1" => print!("{}", render_table1(&table1())),
+        "fig7" => print!("{}", render_fig7(&fig7())),
+        "fig8" => print!("{}", render_fig8(&fig8())),
+        "ablation" => print!(
+            "{}",
+            render_ablation(&ablation(&["Jacobi2D5pt", "Jacobi3D7pt"]))
+        ),
+        "all" => {
+            print!("{}", render_table1(&table1()));
+            println!();
+            print!("{}", render_fig7(&fig7()));
+            println!();
+            print!("{}", render_fig8(&fig8()));
+            println!();
+            print!(
+                "{}",
+                render_ablation(&ablation(&["Jacobi2D5pt", "Jacobi3D7pt"]))
+            );
+        }
+        other => {
+            eprintln!("unknown experiment `{other}`; use table1|fig7|fig8|ablation|all");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,459 @@
+//! The end-to-end Lift pipeline for one benchmark on one device.
+
+use lift_codegen::{compile_kernel, substitute_sizes};
+use lift_oclsim::{BufferData, LaunchConfig, VirtualDevice};
+use lift_rewrite::strategy::{enumerate_variants, Tunable, Variant};
+use lift_stencils::refkernels::reference_kernel;
+use lift_stencils::Benchmark;
+use lift_tuner::{ParamSpace, ParamSpec, Tuner};
+
+/// One tuned implementation with its best configuration.
+#[derive(Debug, Clone)]
+pub struct TunedVariant {
+    /// Variant name (`"global"`, `"tiled-local"`, `"ppcg"`, `"reference"`).
+    pub name: String,
+    /// Modeled runtime in seconds.
+    pub time_s: f64,
+    /// Giga-elements updated per second (the paper's Fig. 7 metric).
+    pub gelems_per_s: f64,
+    /// The winning parameter values.
+    pub config: Vec<(String, i64)>,
+    /// The winning launch configuration (global, local).
+    pub launch: ([usize; 3], [usize; 3]),
+    /// Whether the variant uses overlapped tiling.
+    pub tiled: bool,
+    /// Whether it stages through local memory.
+    pub local_mem: bool,
+    /// Tuner evaluations spent.
+    pub evaluations: usize,
+}
+
+/// The outcome of exploring + tuning one benchmark on one device.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Benchmark name.
+    pub bench: String,
+    /// Device name.
+    pub device: String,
+    /// Grid sizes used.
+    pub sizes: Vec<usize>,
+    /// The fastest tuned variant.
+    pub winner: TunedVariant,
+    /// Best result per explored variant.
+    pub all: Vec<TunedVariant>,
+}
+
+fn round_up(n: usize, m: usize) -> usize {
+    n.div_ceil(m) * m
+}
+
+/// Work-group size candidates per dimensionality.
+fn local_space(dims: usize, max_wg: usize) -> Vec<ParamSpec> {
+    match dims {
+        1 => vec![ParamSpec::pow2("lx", 32, max_wg as i64)],
+        2 => vec![
+            ParamSpec::pow2("lx", 8, 64),
+            ParamSpec::pow2("ly", 4, 32),
+        ],
+        _ => vec![
+            ParamSpec::pow2("lx", 8, 64),
+            ParamSpec::pow2("ly", 2, 16),
+            ParamSpec::new("lz", vec![1, 2]),
+        ],
+    }
+}
+
+fn value_of(cfg: &[(String, i64)], name: &str) -> Option<i64> {
+    cfg.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+}
+
+/// Derives the launch configuration for a variant given its bound
+/// parameters.
+fn launch_for(
+    variant: &Variant,
+    out_sizes: &[usize],
+    cfg: &[(String, i64)],
+) -> Option<LaunchConfig> {
+    let l = |name: &str, default: usize| {
+        value_of(cfg, name).map(|v| v as usize).unwrap_or(default)
+    };
+    let (lx, ly, lz) = (l("lx", 32), l("ly", 1), l("lz", 1));
+    let dims = variant.dims;
+
+    // Output extents in launch order: x = innermost.
+    let ox = *out_sizes.last()?;
+    let oy = if dims >= 2 { out_sizes[dims - 2] } else { 1 };
+    let oz = if dims >= 3 { out_sizes[dims - 3] } else { 1 };
+
+    if variant.tiled {
+        // One work-group per tile.
+        let ts = value_of(cfg, "TS")?;
+        let t = variant.tunables.iter().find(|t| t.var() == "TS")?;
+        let Tunable::TileSize {
+            nbh_size,
+            nbh_step,
+            lens,
+            ..
+        } = t
+        else {
+            return None;
+        };
+        let v = ts - (nbh_size - nbh_step);
+        let groups: Vec<usize> = lens
+            .iter()
+            .map(|len| ((len - ts) / v + 1) as usize)
+            .collect();
+        match variant.dims {
+            1 => Some(LaunchConfig::d1(groups[0] * lx, lx)),
+            _ => Some(LaunchConfig::d2(
+                groups[1] * lx,
+                groups[0] * ly,
+                lx,
+                ly,
+            )),
+        }
+    } else {
+        let cf = value_of(cfg, "CF").unwrap_or(1).max(1) as usize;
+        match dims {
+            1 => Some(LaunchConfig::d1(round_up(ox.div_ceil(cf), lx), lx)),
+            2 => Some(LaunchConfig::d2(
+                round_up(ox.div_ceil(cf), lx),
+                round_up(oy, ly),
+                lx,
+                ly,
+            )),
+            _ => {
+                // The z dimension may be strip-mined away ("ppcg" style):
+                // detect via the variant name.
+                let gz = if variant.name == "ppcg" {
+                    lz
+                } else {
+                    round_up(oz, lz)
+                };
+                Some(LaunchConfig::d3(
+                    [round_up(ox.div_ceil(cf), lx), round_up(oy, ly), gz],
+                    [lx, ly, lz],
+                ))
+            }
+        }
+    }
+}
+
+/// Compiles and executes one bound configuration, returning the modeled
+/// time if it runs and validates.
+#[allow(clippy::too_many_arguments)]
+fn evaluate_config(
+    variant: &Variant,
+    cfg: &[(String, i64)],
+    out_sizes: &[usize],
+    inputs: &[BufferData],
+    golden: &[f32],
+    dev: &VirtualDevice,
+    kernel_name: &str,
+    validate: bool,
+) -> Option<f64> {
+    let tun_values: Vec<(String, i64)> = variant
+        .tunables
+        .iter()
+        .filter_map(|t| value_of(cfg, t.var()).map(|v| (t.var().to_string(), v)))
+        .collect();
+    let bound = if tun_values.is_empty() {
+        variant.program.clone()
+    } else {
+        lift_rewrite::strategy::bind_tunables(variant, &tun_values)?
+    };
+    // Any residual variables (none expected) are rejected by codegen.
+    let bound = substitute_sizes(&bound, &lift_arith::Bindings::new());
+    let kernel = compile_kernel(kernel_name, &bound).ok()?;
+    let launch = launch_for(variant, out_sizes, cfg)?;
+    let out = dev.run(&kernel, inputs, launch).ok()?;
+    if validate && !outputs_match(out.output.as_f32(), golden) {
+        return None;
+    }
+    Some(out.time_s)
+}
+
+fn outputs_match(got: &[f32], want: &[f32]) -> bool {
+    got.len() == want.len()
+        && got
+            .iter()
+            .zip(want)
+            .all(|(a, b)| (a - b).abs() <= 1e-3 * b.abs().max(1.0))
+}
+
+/// Runs the full Lift flow (explore → tune → validate) for `bench` on
+/// `dev`.
+///
+/// # Panics
+///
+/// Panics if no variant produces a single valid configuration — that means
+/// the compiler pipeline is broken for this benchmark, which tests must
+/// surface loudly.
+pub fn tune_lift(
+    bench: &Benchmark,
+    sizes: &[usize],
+    dev: &VirtualDevice,
+    budget: usize,
+    seed: u64,
+) -> BenchResult {
+    let prog = bench.program(sizes);
+    let variants = enumerate_variants(&prog);
+    let inputs: Vec<BufferData> = bench
+        .gen_inputs(sizes, seed)
+        .into_iter()
+        .map(BufferData::F32)
+        .collect();
+    let golden = bench.golden(
+        &inputs
+            .iter()
+            .map(|b| b.as_f32().to_vec())
+            .collect::<Vec<_>>(),
+        sizes,
+    );
+    let out_elems = bench.out_elements(sizes);
+
+    let mut all = Vec::new();
+    for variant in &variants {
+        if let Some(t) = tune_variant(
+            variant, bench, sizes, &inputs, &golden, dev, budget, seed, out_elems,
+        ) {
+            all.push(t);
+        }
+    }
+    assert!(
+        !all.is_empty(),
+        "no valid configuration found for {} on {}",
+        bench.name,
+        dev.profile().name
+    );
+    let winner = all
+        .iter()
+        .min_by(|a, b| a.time_s.total_cmp(&b.time_s))
+        .expect("non-empty")
+        .clone();
+    BenchResult {
+        bench: bench.name.to_string(),
+        device: dev.profile().name.to_string(),
+        sizes: sizes.to_vec(),
+        winner,
+        all,
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn tune_variant(
+    variant: &Variant,
+    bench: &Benchmark,
+    sizes: &[usize],
+    inputs: &[BufferData],
+    golden: &[f32],
+    dev: &VirtualDevice,
+    budget: usize,
+    seed: u64,
+    out_elems: usize,
+) -> Option<TunedVariant> {
+    let max_wg = dev.profile().max_wg_size;
+    let mut specs = Vec::new();
+    for t in &variant.tunables {
+        let cap = match t {
+            Tunable::TileSize { lens, .. } => lens.iter().copied().min().unwrap_or(64).min(64),
+            Tunable::CoarsenFactor { .. } => 16,
+        };
+        let mut cands = t.candidates(cap);
+        if let Tunable::TileSize { nbh_size, .. } = t {
+            // Degenerate tiles (little more than the neighbourhood) produce
+            // one output per work-group and pathological launch sizes; no
+            // sane tuner budget should be spent simulating them.
+            cands.retain(|u| *u >= nbh_size + 3);
+        }
+        if cands.is_empty() {
+            return None;
+        }
+        specs.push(ParamSpec::new(t.var().to_string(), cands));
+    }
+    let n_tunables = specs.len();
+    specs.extend(local_space(variant.dims, max_wg));
+    let space = ParamSpace::new(specs).with_constraint(move |cfg| {
+        // Work-group size within the device limit.
+        let wg: i64 = cfg[n_tunables..].iter().product();
+        wg as usize <= max_wg
+    });
+    let names: Vec<String> = space
+        .params()
+        .iter()
+        .map(|p| p.name().to_string())
+        .collect();
+
+    let validate = std::env::var("LIFT_NO_VALIDATE").map(|v| v != "1").unwrap_or(true);
+    let tuner = Tuner::new(space, budget).with_seed(seed ^ hash(&variant.name));
+    let result = tuner.run(|cfg| {
+        let named: Vec<(String, i64)> = names
+            .iter()
+            .cloned()
+            .zip(cfg.iter().copied())
+            .collect();
+        evaluate_config(
+            variant,
+            &named,
+            sizes,
+            inputs,
+            golden,
+            dev,
+            &format!("{}_{}", bench.name.to_lowercase(), variant.name.replace('-', "_")),
+            validate,
+        )
+    });
+    let best = result.best?;
+    let config: Vec<(String, i64)> = names.into_iter().zip(best.values).collect();
+    let launch = launch_for(variant, sizes, &config)?;
+    Some(TunedVariant {
+        name: variant.name.clone(),
+        time_s: best.score,
+        gelems_per_s: out_elems as f64 / best.score / 1e9,
+        config,
+        launch: (launch.global, launch.local),
+        tiled: variant.tiled,
+        local_mem: variant.local_mem,
+        evaluations: result.evaluations,
+    })
+}
+
+fn hash(s: &str) -> u64 {
+    s.bytes().fold(0xcbf29ce484222325u64, |h, b| {
+        (h ^ b as u64).wrapping_mul(0x100000001b3)
+    })
+}
+
+/// Tunes the PPCG baseline for `bench` (Fig. 8 benchmarks only).
+pub fn tune_ppcg(
+    bench: &Benchmark,
+    sizes: &[usize],
+    dev: &VirtualDevice,
+    budget: usize,
+    seed: u64,
+) -> Option<TunedVariant> {
+    let prog = bench.program(sizes);
+    let k = lift_ppcg::compile(&prog).ok()?;
+    let variant = Variant {
+        name: "ppcg".into(),
+        program: k.program,
+        tunables: k.tunables,
+        dims: k.dims,
+        tiled: k.dims == 2,
+        local_mem: k.dims == 2,
+        unrolled: false,
+    };
+    let inputs: Vec<BufferData> = bench
+        .gen_inputs(sizes, seed)
+        .into_iter()
+        .map(BufferData::F32)
+        .collect();
+    let golden = bench.golden(
+        &inputs
+            .iter()
+            .map(|b| b.as_f32().to_vec())
+            .collect::<Vec<_>>(),
+        sizes,
+    );
+    tune_variant(
+        &variant,
+        bench,
+        sizes,
+        &inputs,
+        &golden,
+        dev,
+        budget,
+        seed,
+        bench.out_elements(sizes),
+    )
+}
+
+/// Executes the hand-written reference kernel for a Fig. 7 benchmark (no
+/// tuning — references are fixed).
+///
+/// # Panics
+///
+/// Panics if the reference kernel fails to execute or produces wrong
+/// results — hand-written kernels are part of the repository and must work.
+pub fn run_reference(bench: &Benchmark, sizes: &[usize], dev: &VirtualDevice, seed: u64) -> TunedVariant {
+    let r = reference_kernel(bench, sizes);
+    let inputs: Vec<BufferData> = bench
+        .gen_inputs(sizes, seed)
+        .into_iter()
+        .map(BufferData::F32)
+        .collect();
+    let golden = bench.golden(
+        &inputs
+            .iter()
+            .map(|b| b.as_f32().to_vec())
+            .collect::<Vec<_>>(),
+        sizes,
+    );
+    let cfg = LaunchConfig::d3(r.global, r.local);
+    let out = dev
+        .run(&r.kernel, &inputs, cfg)
+        .unwrap_or_else(|e| panic!("reference kernel for {} failed: {e}", bench.name));
+    assert!(
+        outputs_match(out.output.as_f32(), &golden),
+        "reference kernel for {} produced wrong results",
+        bench.name
+    );
+    let out_elems = bench.out_elements(sizes);
+    TunedVariant {
+        name: "reference".into(),
+        time_s: out.time_s,
+        gelems_per_s: out_elems as f64 / out.time_s / 1e9,
+        config: vec![],
+        launch: (r.global, r.local),
+        tiled: false,
+        local_mem: bench.name == "Hotspot2D",
+        evaluations: 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lift_oclsim::DeviceProfile;
+
+    #[test]
+    fn tune_lift_end_to_end_small() {
+        let bench = lift_stencils::by_name("Jacobi2D5pt");
+        let sizes = [18usize, 18];
+        let dev = VirtualDevice::new(DeviceProfile::k20c());
+        let r = tune_lift(&bench, &sizes, &dev, 4, 1);
+        assert!(r.winner.time_s > 0.0);
+        assert!(r.all.len() >= 2, "expected several variants, got {:?}",
+            r.all.iter().map(|v| &v.name).collect::<Vec<_>>());
+        // Every surviving variant validated against the golden output.
+        for v in &r.all {
+            assert!(v.gelems_per_s > 0.0, "{} has no throughput", v.name);
+        }
+    }
+
+    #[test]
+    fn reference_runs_and_validates() {
+        let bench = lift_stencils::by_name("Hotspot2D");
+        let dev = VirtualDevice::new(DeviceProfile::k20c());
+        let r = run_reference(&bench, &[32, 32], &dev, 1);
+        assert!(r.time_s > 0.0);
+        assert!(r.local_mem);
+    }
+
+    #[test]
+    fn ppcg_tunes_2d() {
+        let bench = lift_stencils::by_name("Jacobi2D5pt");
+        let dev = VirtualDevice::new(DeviceProfile::k20c());
+        let r = tune_ppcg(&bench, &[18, 18], &dev, 6, 1).expect("ppcg result");
+        assert!(r.tiled);
+        assert!(r.time_s > 0.0);
+    }
+
+    #[test]
+    fn ppcg_tunes_3d() {
+        let bench = lift_stencils::by_name("Heat");
+        let dev = VirtualDevice::new(DeviceProfile::mali_t628());
+        let r = tune_ppcg(&bench, &[8, 8, 8], &dev, 4, 1).expect("ppcg result");
+        assert!(!r.tiled);
+    }
+}

@@ -1,0 +1,130 @@
+//! Plain-text rendering of experiment results in the paper's shape.
+
+use crate::experiments::{AblationRow, Fig7Row, Fig8Row, Table1Row};
+
+/// Renders Table 1.
+pub fn render_table1(rows: &[Table1Row]) -> String {
+    let mut s = String::new();
+    s.push_str("Table 1: Benchmarks used in the evaluation\n");
+    s.push_str(&format!(
+        "{:<14}{:>4}{:>5}  {:<16}{:<18}{:>7}\n",
+        "Benchmark", "Dim", "Pts", "Input (scaled)", "Input (paper)", "#grids"
+    ));
+    for r in rows {
+        s.push_str(&format!(
+            "{:<14}{:>3}D{:>5}  {:<16}{:<18}{:>7}\n",
+            r.bench, r.dims, r.points, r.input_size, r.paper_size, r.grids
+        ));
+    }
+    s
+}
+
+/// Renders Figure 7 as grouped rows per device.
+pub fn render_fig7(rows: &[Fig7Row]) -> String {
+    let mut s = String::new();
+    s.push_str("Figure 7: Lift vs hand-written kernels (giga-elements updated per second)\n");
+    let mut devices: Vec<&str> = rows.iter().map(|r| r.device.as_str()).collect();
+    devices.dedup();
+    for dev in devices {
+        s.push_str(&format!("\n  [{dev}]\n"));
+        s.push_str(&format!(
+            "  {:<11}{:>10}{:>12}{:>8}   {}\n",
+            "Benchmark", "Lift", "Reference", "ratio", "winning variant"
+        ));
+        for r in rows.iter().filter(|r| r.device == dev) {
+            s.push_str(&format!(
+                "  {:<11}{:>10.4}{:>12.4}{:>7.2}x   {}{}\n",
+                r.bench,
+                r.lift_gelems,
+                r.reference_gelems,
+                r.lift_gelems / r.reference_gelems,
+                r.lift_variant,
+                if r.lift_tiled { " [tiled]" } else { "" },
+            ));
+        }
+    }
+    s
+}
+
+/// Renders Figure 8 as grouped rows per device.
+pub fn render_fig8(rows: &[Fig8Row]) -> String {
+    let mut s = String::new();
+    s.push_str("Figure 8: Lift speedup over PPCG (auto-tuned, > 1 means Lift is faster)\n");
+    let mut devices: Vec<&str> = rows.iter().map(|r| r.device.as_str()).collect();
+    devices.dedup();
+    for dev in devices {
+        s.push_str(&format!("\n  [{dev}]\n"));
+        s.push_str(&format!(
+            "  {:<13}{:>8}{:>10}   {}\n",
+            "Benchmark", "size", "speedup", "winning Lift variant"
+        ));
+        for r in rows.iter().filter(|r| r.device == dev) {
+            s.push_str(&format!(
+                "  {:<13}{:>8}{:>9.2}x   {}{}\n",
+                r.bench,
+                r.size,
+                r.speedup,
+                r.lift_variant,
+                if r.lift_tiled { " [tiled]" } else { "" },
+            ));
+        }
+    }
+    s
+}
+
+/// Renders the ablation study.
+pub fn render_ablation(rows: &[AblationRow]) -> String {
+    let mut s = String::new();
+    s.push_str("Ablation: best throughput per rewrite variant (relative to winner)\n");
+    let mut keys: Vec<(String, String)> = rows
+        .iter()
+        .map(|r| (r.device.clone(), r.bench.clone()))
+        .collect();
+    keys.dedup();
+    for (dev, bench) in keys {
+        s.push_str(&format!("\n  [{dev}] {bench}\n"));
+        for r in rows
+            .iter()
+            .filter(|r| r.device == dev && r.bench == bench)
+        {
+            let bar_len = (r.rel_to_best * 32.0).round() as usize;
+            s.push_str(&format!(
+                "  {:<22}{:>9.4} GEl/s  {:<32} {:>5.1}%\n",
+                r.variant,
+                r.gelems,
+                "#".repeat(bar_len.min(32)),
+                r.rel_to_best * 100.0
+            ));
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig7_rendering_contains_devices_and_ratios() {
+        let rows = vec![Fig7Row {
+            bench: "Hotspot2D".into(),
+            device: "AMD Radeon HD 7970".into(),
+            lift_gelems: 12.0,
+            reference_gelems: 0.8,
+            lift_variant: "global".into(),
+            lift_tiled: false,
+        }];
+        let out = render_fig7(&rows);
+        assert!(out.contains("AMD Radeon HD 7970"));
+        assert!(out.contains("15.00x"));
+    }
+
+    #[test]
+    fn table1_rendering() {
+        let rows = crate::experiments::table1();
+        let out = render_table1(&rows);
+        assert!(out.contains("Stencil2D"));
+        assert!(out.contains("Acoustic"));
+        assert!(out.contains("4098×4098"));
+    }
+}

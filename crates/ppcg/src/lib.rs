@@ -1,0 +1,252 @@
+//! A PPCG-like polyhedral baseline code generator.
+//!
+//! PPCG (Verdoolaege et al., TACO 2013) compiles affine loop nests to GPU
+//! code with one *fixed* strategy: rectangular time/space tiling, shared-
+//! memory staging of the tile plus halo, a block/thread mapping, and
+//! sequential per-thread strips; only tile and block sizes are tunable. The
+//! paper (§7.2) tunes exactly those parameters with the same budget as Lift
+//! and finds that Lift's *choice* between tiled and untiled formulations is
+//! what wins — on Nvidia "the best Lift kernel performs no tiling [for Heat
+//! large] … the PPCG version uses tiling, with each thread processing 512×
+//! more elements sequentially".
+//!
+//! This crate reproduces that baseline faithfully *as a strategy*: it takes
+//! the same high-level stencil program and always applies
+//!
+//! * **2D stencils** — overlapped tiling + local-memory staging
+//!   (`mapWrg²/mapLcl²`), tile size tunable;
+//! * **3D stencils** — the classic PPCG 3D mapping: a 2D thread block over
+//!   the inner dimensions with the outermost dimension executed as a
+//!   sequential strip per thread (z-loop), block sizes tunable.
+//!
+//! There is no exploration: where Lift *derives* untiled alternatives by
+//! rewriting, PPCG cannot.
+
+use lift_arith::ArithExpr;
+use lift_core::expr::FunDecl;
+use lift_core::pattern::MapKind;
+use lift_core::typecheck::typecheck_fun;
+use lift_rewrite::lowering::{lower_grid, sequentialise};
+use lift_rewrite::rules::tile_anywhere;
+use lift_rewrite::strategy::Tunable;
+
+/// The outcome of "compiling with PPCG": a single lowered program with its
+/// tunable parameters.
+#[derive(Debug, Clone)]
+pub struct PpcgKernel {
+    /// Strategy description (printed by the harness).
+    pub strategy: &'static str,
+    /// The lowered program (tunables symbolic, as for Lift variants).
+    pub program: FunDecl,
+    /// Tile-size tunables (empty for the 3D strip mapping).
+    pub tunables: Vec<Tunable>,
+    /// Output dimensionality.
+    pub dims: usize,
+}
+
+/// Errors from the baseline compiler.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PpcgError(String);
+
+impl std::fmt::Display for PpcgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ppcg baseline error: {}", self.0)
+    }
+}
+
+impl std::error::Error for PpcgError {}
+
+/// Compiles a stencil program with the fixed PPCG strategy.
+///
+/// # Errors
+///
+/// Fails when the program is ill-typed or (for 2D) when the canonical
+/// stencil shape cannot be tiled.
+pub fn compile(prog: &FunDecl) -> Result<PpcgKernel, PpcgError> {
+    let out_ty =
+        typecheck_fun(prog).map_err(|e| PpcgError(format!("ill-typed program: {e}")))?;
+    let dims = out_ty.dims();
+    let body = match prog {
+        FunDecl::Lambda(l) => &l.body,
+        _ => return Err(PpcgError("program must be a top-level lambda".into())),
+    };
+    let rebuild = |b| match prog {
+        FunDecl::Lambda(l) => FunDecl::lambda(l.params.clone(), b),
+        _ => unreachable!(),
+    };
+
+    match dims {
+        2 => {
+            // Always tile + stage through shared memory.
+            let ts = ArithExpr::var("TS");
+            let tiled = tile_anywhere(body, &ts, true).ok_or_else(|| {
+                PpcgError("2D stencil shape not recognised for tiling".into())
+            })?;
+            let kinds = [
+                MapKind::Wrg(1),
+                MapKind::Wrg(0),
+                MapKind::Lcl(1),
+                MapKind::Lcl(0),
+            ];
+            let lowered = sequentialise(&lower_grid(&tiled, &kinds));
+            // Tile-size legality needs the padded extents.
+            let info = stencil_extents(body).ok_or_else(|| {
+                PpcgError("could not determine stencil extents".into())
+            })?;
+            Ok(PpcgKernel {
+                strategy: "shared-memory tiling (2D)",
+                program: rebuild(lowered),
+                tunables: vec![Tunable::TileSize {
+                    var: "TS".into(),
+                    nbh_size: info.0,
+                    nbh_step: info.1,
+                    lens: info.2,
+                }],
+                dims,
+            })
+        }
+        3 => {
+            // 2D thread block over (y, x); z is a per-thread strip.
+            let kinds = [MapKind::Seq, MapKind::Glb(1), MapKind::Glb(0)];
+            let lowered = sequentialise(&lower_grid(body, &kinds));
+            Ok(PpcgKernel {
+                strategy: "2D block + sequential z-strip (3D)",
+                program: rebuild(lowered),
+                tunables: vec![],
+                dims,
+            })
+        }
+        d => Err(PpcgError(format!("unsupported dimensionality {d}"))),
+    }
+}
+
+/// `(nbh_size, nbh_step, padded_lens)` of the first recognisable 2D stencil.
+fn stencil_extents(body: &lift_core::expr::Expr) -> Option<(i64, i64, Vec<i64>)> {
+    let mut out = None;
+    lift_core::visit::walk(body, &mut |node| {
+        if out.is_some() {
+            return;
+        }
+        if let Some(st) = lift_rewrite::stencil::match_stencil_2d(node) {
+            if let (Some(n), Some(s)) = (st.size.as_cst(), st.step.as_cst()) {
+                if let Ok(t) = lift_core::typecheck::typecheck(&st.input) {
+                    let lens: Vec<i64> = t
+                        .shape()
+                        .iter()
+                        .take(2)
+                        .filter_map(ArithExpr::as_cst)
+                        .collect();
+                    if lens.len() == 2 {
+                        out = Some((n, s, lens));
+                    }
+                }
+            }
+        }
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lift_core::eval::{eval_fun, DataValue};
+    use lift_core::prelude::*;
+    use lift_rewrite::strategy::bind_tunables;
+
+    fn jacobi2d(n: i64) -> FunDecl {
+        lam_named("A", Type::array_2d(Type::f32(), n, n), |a| {
+            let f = lam(Type::array_2d(Type::f32(), 3, 3), |nbh| {
+                reduce(add_f32(), Expr::f32(0.0), join(nbh))
+            });
+            lift_core::ndim::map2(
+                f,
+                lift_core::ndim::slide2(3, 1, lift_core::ndim::pad2(1, 1, Boundary::Clamp, a)),
+            )
+        })
+    }
+
+    fn heat3d(n: i64) -> FunDecl {
+        lam_named("A", Type::array_3d(Type::f32(), n, n, n), |a| {
+            let f = lam(Type::array_3d(Type::f32(), 3, 3, 3), |nbh| {
+                reduce(add_f32(), Expr::f32(0.0), join(join(nbh)))
+            });
+            lift_core::ndim::map3(
+                f,
+                lift_core::ndim::slide3(
+                    3,
+                    1,
+                    lift_core::ndim::pad3(1, 1, Boundary::Clamp, a),
+                ),
+            )
+        })
+    }
+
+    #[test]
+    fn ppcg_2d_always_tiles() {
+        let k = compile(&jacobi2d(14)).expect("compiles");
+        assert!(k.strategy.contains("tiling"));
+        assert_eq!(k.tunables.len(), 1);
+        // Local memory staging is part of the strategy.
+        let locals = lift_core::visit::find_positions(
+            match &k.program {
+                FunDecl::Lambda(l) => &l.body,
+                _ => unreachable!(),
+            },
+            &|n| {
+                matches!(
+                    n.as_apply().and_then(|a| a.fun.as_pattern()),
+                    Some(lift_core::pattern::Pattern::ToLocal { .. })
+                )
+            },
+        );
+        assert_eq!(locals.len(), 1);
+    }
+
+    #[test]
+    fn ppcg_2d_preserves_semantics() {
+        let prog = jacobi2d(14);
+        let k = compile(&prog).expect("compiles");
+        let variant = lift_rewrite::strategy::Variant {
+            name: "ppcg".into(),
+            program: k.program.clone(),
+            tunables: k.tunables.clone(),
+            dims: 2,
+            tiled: true,
+            local_mem: true,
+            unrolled: false,
+        };
+        let bound = bind_tunables(&variant, &[("TS".into(), 4)]).expect("valid tile");
+        let data: Vec<f32> = (0..14 * 14).map(|i| (i % 7) as f32).collect();
+        let input = DataValue::from_f32s_2d(&data, 14, 14);
+        let lhs = eval_fun(&prog, &[input.clone()]).unwrap().flatten_f32();
+        let rhs = eval_fun(&bound, &[input]).unwrap().flatten_f32();
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn ppcg_3d_serialises_outer_dimension() {
+        let k = compile(&heat3d(8)).expect("compiles");
+        assert!(k.strategy.contains("z-strip"));
+        // The outermost grid map became sequential.
+        let body = match &k.program {
+            FunDecl::Lambda(l) => &l.body,
+            _ => unreachable!(),
+        };
+        let seqs = lift_core::visit::find_positions(body, &|n| {
+            matches!(
+                n.applied_pattern(),
+                Some(lift_core::pattern::Pattern::Map {
+                    kind: MapKind::Seq,
+                    ..
+                })
+            )
+        });
+        assert!(!seqs.is_empty());
+        // And semantics are intact.
+        let data: Vec<f32> = (0..512).map(|i| (i % 5) as f32).collect();
+        let input = DataValue::from_f32s_3d(&data, 8, 8, 8);
+        let lhs = eval_fun(&heat3d(8), &[input.clone()]).unwrap().flatten_f32();
+        let rhs = eval_fun(&k.program, &[input]).unwrap().flatten_f32();
+        assert_eq!(lhs, rhs);
+    }
+}

@@ -1,0 +1,30 @@
+//! Optimisations as rewrite rules (§4 of the paper).
+//!
+//! Lift's central design decision is that every optimisation — algorithmic
+//! and device-specific — is a *semantics-preserving rewrite rule* applied to
+//! the functional IR. This crate provides:
+//!
+//! * [`rules`] — the paper's stencil rules: **overlapped tiling** in 1D
+//!   (`map f ∘ slide n s ↦ join ∘ map(map f ∘ slide n s) ∘ slide u v` with
+//!   `u − v = n − s`) and 2D (with the transpose bookkeeping of §4.1), its
+//!   two decomposed correctness halves, classic map fusion, the
+//!   local-memory rule `map(id) ↦ toLocal(map(id))` (§4.2), and loop
+//!   unrolling via `reduceUnroll` (§4.3);
+//! * [`lowering`] — the rules that map high-level `map`s onto the OpenCL
+//!   thread hierarchy (`mapGlb`/`mapWrg`/`mapLcl`/`mapSeq`) and thread
+//!   coarsening via `split`/`join`;
+//! * [`stencil`] — recognisers for the canonical
+//!   `map_n(f) ∘ slide_n ∘ pad_n` stencil shapes the builders produce;
+//! * [`strategy`] — the exploration: enumerate the lowered variants
+//!   (±tiling, ±local memory, ±unrolling, ±coarsening) with named tunable
+//!   parameters for the auto-tuner, mirroring the paper's automatic search.
+//!
+//! Every rule is typed-checked-preserving by construction and validated
+//! against the reference evaluator in this crate's tests.
+
+pub mod lowering;
+pub mod rules;
+pub mod stencil;
+pub mod strategy;
+
+pub use strategy::{enumerate_variants, Tunable, Variant};

@@ -1,0 +1,230 @@
+//! Recognisers for the canonical stencil shapes produced by the builder
+//! combinators (`map ∘ slide`, `map2 ∘ slide2`, …).
+
+use lift_arith::ArithExpr;
+use lift_core::expr::{Expr, FunDecl};
+use lift_core::pattern::{MapKind, Pattern};
+
+/// A matched 1D stencil application `map(f, slide(size, step, input))`.
+#[derive(Debug, Clone)]
+pub struct Stencil1d {
+    /// The stencil function (one neighbourhood → one element).
+    pub f: FunDecl,
+    /// Neighbourhood size.
+    pub size: ArithExpr,
+    /// Neighbourhood step.
+    pub step: ArithExpr,
+    /// The slid input (typically a padded array).
+    pub input: Expr,
+}
+
+/// A matched 2D stencil application `map2(f, slide2(size, step, input))`.
+#[derive(Debug, Clone)]
+pub struct Stencil2d {
+    /// The stencil function (2D neighbourhood → one element).
+    pub f: FunDecl,
+    /// Neighbourhood size (square).
+    pub size: ArithExpr,
+    /// Neighbourhood step.
+    pub step: ArithExpr,
+    /// The slid 2D input.
+    pub input: Expr,
+}
+
+/// Destructures `Apply(Map(Par, f), [arg])`.
+pub fn match_par_map(e: &Expr) -> Option<(&FunDecl, &Expr)> {
+    let app = e.as_apply()?;
+    match app.fun.as_pattern()? {
+        Pattern::Map {
+            kind: MapKind::Par,
+            f,
+        } => Some((f, &app.args[0])),
+        _ => None,
+    }
+}
+
+/// Recognises a function that *is* `slide(size, step)` — either the bare
+/// pattern or an eta-expanded `λx. slide(size, step, x)`.
+pub fn fun_as_slide(f: &FunDecl) -> Option<(ArithExpr, ArithExpr)> {
+    match f {
+        FunDecl::Pattern(p) => match p.as_ref() {
+            Pattern::Slide { size, step } => Some((size.clone(), step.clone())),
+            _ => None,
+        },
+        FunDecl::Lambda(l) => {
+            if l.params.len() != 1 {
+                return None;
+            }
+            let app = l.body.as_apply()?;
+            if app.args.len() != 1 {
+                return None;
+            }
+            match &app.args[0] {
+                Expr::Param(p) if p.id() == l.params[0].id() => {}
+                _ => return None,
+            }
+            match app.fun.as_pattern()? {
+                Pattern::Slide { size, step } => Some((size.clone(), step.clone())),
+                _ => None,
+            }
+        }
+        FunDecl::UserFun(_) => None,
+    }
+}
+
+/// Recognises a function that *is* `transpose` (bare or eta-expanded).
+pub fn fun_is_transpose(f: &FunDecl) -> bool {
+    match f {
+        FunDecl::Pattern(p) => matches!(p.as_ref(), Pattern::Transpose),
+        FunDecl::Lambda(l) => {
+            if l.params.len() != 1 {
+                return false;
+            }
+            let Some(app) = l.body.as_apply() else {
+                return false;
+            };
+            if app.args.len() != 1 {
+                return false;
+            }
+            let arg_is_param = matches!(
+                &app.args[0],
+                Expr::Param(p) if p.id() == l.params[0].id()
+            );
+            arg_is_param
+                && matches!(
+                    app.fun.as_pattern(),
+                    Some(Pattern::Transpose)
+                )
+        }
+        FunDecl::UserFun(_) => false,
+    }
+}
+
+/// Matches the composition `map(transpose) ∘ slide ∘ map(slide)` that
+/// [`lift_core::ndim::slide2`] produces, returning `(size, step, input)`.
+pub fn match_slide2(e: &Expr) -> Option<(ArithExpr, ArithExpr, &Expr)> {
+    // map(transpose)(…)
+    let (t, rest) = match_par_map(e)?;
+    if !fun_is_transpose(t) {
+        return None;
+    }
+    // slide(size, step)(…)
+    let app = rest.as_apply()?;
+    let (size, step) = match app.fun.as_pattern()? {
+        Pattern::Slide { size, step } => (size.clone(), step.clone()),
+        _ => return None,
+    };
+    // map(slide(size, step))(input)
+    let (s, input) = match_par_map(&app.args[0])?;
+    let (s2, st2) = fun_as_slide(s)?;
+    if s2 != size || st2 != step {
+        return None;
+    }
+    Some((size, step, input))
+}
+
+/// Matches the 1D stencil `map(f, slide(size, step, input))` where `f`
+/// computes (is not a pure layout function).
+pub fn match_stencil_1d(e: &Expr) -> Option<Stencil1d> {
+    let (f, arg) = match_par_map(e)?;
+    if crate::lowering::is_layout_fun(f) {
+        return None;
+    }
+    let app = arg.as_apply()?;
+    match app.fun.as_pattern()? {
+        Pattern::Slide { size, step } => Some(Stencil1d {
+            f: f.clone(),
+            size: size.clone(),
+            step: step.clone(),
+            input: app.args[0].clone(),
+        }),
+        _ => None,
+    }
+}
+
+/// Matches the 2D stencil `map2(f, slide2(size, step, input))`:
+/// `map(λrow. map(f, row))` applied to a [`match_slide2`] shape.
+pub fn match_stencil_2d(e: &Expr) -> Option<Stencil2d> {
+    let (outer_f, arg) = match_par_map(e)?;
+    // outer_f must be λrow. map(f, row) with computing f.
+    let l = outer_f.as_lambda()?;
+    if l.params.len() != 1 {
+        return None;
+    }
+    let (inner_f, inner_arg) = match_par_map(&l.body)?;
+    match inner_arg {
+        Expr::Param(p) if p.id() == l.params[0].id() => {}
+        _ => return None,
+    }
+    if crate::lowering::is_layout_fun(inner_f) {
+        return None;
+    }
+    let (size, step, input) = match_slide2(arg)?;
+    Some(Stencil2d {
+        f: inner_f.clone(),
+        size,
+        step,
+        input: input.clone(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lift_core::prelude::*;
+
+    fn sum3() -> FunDecl {
+        lam(Type::array(Type::f32(), 3), |nbh| {
+            reduce(add_f32(), Expr::f32(0.0), nbh)
+        })
+    }
+
+    fn sum3x3() -> FunDecl {
+        lam(Type::array_2d(Type::f32(), 3, 3), |nbh| {
+            reduce(add_f32(), Expr::f32(0.0), join(nbh))
+        })
+    }
+
+    #[test]
+    fn matches_1d_stencil() {
+        let a = Expr::Param(Param::fresh("A", Type::array(Type::f32(), 32)));
+        let e = map(sum3(), slide(3, 1, pad(1, 1, Boundary::Clamp, a)));
+        let st = match_stencil_1d(&e).expect("matches");
+        assert_eq!(st.size, ArithExpr::from(3));
+        assert_eq!(st.step, ArithExpr::from(1));
+    }
+
+    #[test]
+    fn layout_map_is_not_a_stencil() {
+        let a = Expr::Param(Param::fresh("A", Type::array_2d(Type::f32(), 8, 8)));
+        // map(transpose) over slide output is layout plumbing, not a stencil.
+        let e = lift_core::ndim::slide2(3, 1, a);
+        assert!(match_stencil_1d(&e).is_none());
+    }
+
+    #[test]
+    fn matches_slide2_composition() {
+        let a = Expr::Param(Param::fresh("A", Type::array_2d(Type::f32(), 10, 10)));
+        let e = lift_core::ndim::slide2(3, 1, a);
+        let (size, step, _) = match_slide2(&e).expect("matches");
+        assert_eq!(size, ArithExpr::from(3));
+        assert_eq!(step, ArithExpr::from(1));
+    }
+
+    #[test]
+    fn matches_2d_stencil() {
+        let a = Expr::Param(Param::fresh("A", Type::array_2d(Type::f32(), 10, 10)));
+        let nbhs = lift_core::ndim::slide2(3, 1, lift_core::ndim::pad2(1, 1, Boundary::Clamp, a));
+        let e = lift_core::ndim::map2(sum3x3(), nbhs);
+        let st = match_stencil_2d(&e).expect("matches");
+        assert_eq!(st.size, ArithExpr::from(3));
+    }
+
+    #[test]
+    fn non_stencil_does_not_match() {
+        let a = Expr::Param(Param::fresh("A", Type::array(Type::f32(), 32)));
+        let e = map(id(), a);
+        assert!(match_stencil_1d(&e).is_none());
+        assert!(match_stencil_2d(&e).is_none());
+    }
+}

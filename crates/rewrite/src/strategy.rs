@@ -1,0 +1,528 @@
+//! Exploration strategies: enumerating the lowered variants of a stencil
+//! program with named tunable parameters.
+//!
+//! This encodes the search space the paper explores automatically: for each
+//! benchmark Lift derives several low-level expressions (±overlapped tiling,
+//! ±local memory, ±unrolling, ±thread coarsening) and each expression
+//! carries numeric tunables (tile size, coarsening factor; the launch
+//! configuration is tuned separately by the harness). The auto-tuner then
+//! picks the best (expression, parameters) pair per device.
+
+use lift_arith::ArithExpr;
+use lift_core::expr::{Expr, FunDecl};
+use lift_core::pattern::MapKind;
+use lift_core::typecheck::{typecheck, typecheck_fun};
+
+use crate::lowering::{coarsen_innermost, lower_grid, sequentialise, unroll};
+use crate::rules::tile_anywhere;
+use crate::stencil::{match_stencil_1d, match_stencil_2d};
+
+/// A numeric parameter left symbolic in a [`Variant`], to be bound by the
+/// auto-tuner before code generation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tunable {
+    /// An overlapped-tiling tile size `u` (the rewrite fixed
+    /// `v = u − (n − s)`).
+    TileSize {
+        /// The arithmetic variable name in the program.
+        var: String,
+        /// Neighbourhood size `n`.
+        nbh_size: i64,
+        /// Neighbourhood step `s`.
+        nbh_step: i64,
+        /// Padded input extent per tiled dimension.
+        lens: Vec<i64>,
+    },
+    /// A thread-coarsening factor (elements per thread).
+    CoarsenFactor {
+        /// The arithmetic variable name in the program.
+        var: String,
+        /// The length of the coarsened dimension (the factor must divide
+        /// it).
+        len: i64,
+    },
+}
+
+impl Tunable {
+    /// The variable name bound by the tuner.
+    pub fn var(&self) -> &str {
+        match self {
+            Tunable::TileSize { var, .. } | Tunable::CoarsenFactor { var, .. } => var,
+        }
+    }
+
+    /// Whether `value` is a legal assignment.
+    pub fn is_valid(&self, value: i64) -> bool {
+        match self {
+            Tunable::TileSize {
+                nbh_size,
+                nbh_step,
+                lens,
+                ..
+            } => {
+                let halo = nbh_size - nbh_step;
+                let v = value - halo;
+                value >= *nbh_size
+                    && v > 0
+                    && lens
+                        .iter()
+                        .all(|l| value <= *l && (*l - value) % v == 0)
+            }
+            Tunable::CoarsenFactor { len, .. } => value >= 1 && len % value == 0,
+        }
+    }
+
+    /// All legal assignments up to `max` (ascending).
+    pub fn candidates(&self, max: i64) -> Vec<i64> {
+        (1..=max).filter(|v| self.is_valid(*v)).collect()
+    }
+}
+
+/// One lowered implementation candidate of a stencil program.
+#[derive(Debug, Clone)]
+pub struct Variant {
+    /// A short descriptive name (`"global"`, `"tiled-local-unroll"`, …).
+    pub name: String,
+    /// The lowered program (tunables still symbolic).
+    pub program: FunDecl,
+    /// The tunables appearing in the program.
+    pub tunables: Vec<Tunable>,
+    /// Grid dimensionality (1–3) of the output.
+    pub dims: usize,
+    /// Whether overlapped tiling was applied.
+    pub tiled: bool,
+    /// Whether tiles are staged through local memory.
+    pub local_mem: bool,
+    /// Whether inner loops were unrolled.
+    pub unrolled: bool,
+}
+
+fn glb_kinds(dims: usize) -> Vec<MapKind> {
+    (0..dims).rev().map(|d| MapKind::Glb(d as u8)).collect()
+}
+
+fn rebuild(prog: &FunDecl, body: Expr) -> FunDecl {
+    match prog {
+        FunDecl::Lambda(l) => FunDecl::lambda(l.params.clone(), body),
+        _ => unreachable!("programs are top-level lambdas"),
+    }
+}
+
+/// The unroll limit: covers every neighbourhood in the benchmark suite
+/// (5×5 = 25 points, 3³ = 27 points) without unrolling tile-sized loops.
+const UNROLL_LIMIT: i64 = 32;
+
+/// Enumerates the implementation space of a stencil program.
+///
+/// `prog` must be a top-level lambda producing a 1–3D grid, with concrete
+/// sizes. Variants that require a recognisable `map_n ∘ slide_n` stencil
+/// shape (tiling) are emitted only when the shape matches; every program
+/// gets at least the `global` variants.
+///
+/// # Panics
+///
+/// Panics if `prog` is not a lambda or is ill-typed — the input comes from
+/// the benchmark suite, so this is a programming error, not user input.
+pub fn enumerate_variants(prog: &FunDecl) -> Vec<Variant> {
+    let out_ty = typecheck_fun(prog).expect("ill-typed program");
+    let dims = out_ty.dims();
+    assert!((1..=3).contains(&dims), "unsupported dimensionality {dims}");
+    let body = match prog {
+        FunDecl::Lambda(l) => &l.body,
+        _ => panic!("program must be a top-level lambda"),
+    };
+
+    let mut variants = Vec::new();
+
+    // --- global (one thread per element) --------------------------------
+    let global = sequentialise(&lower_grid(body, &glb_kinds(dims)));
+    variants.push(Variant {
+        name: "global".into(),
+        program: rebuild(prog, global.clone()),
+        tunables: vec![],
+        dims,
+        tiled: false,
+        local_mem: false,
+        unrolled: false,
+    });
+    variants.push(Variant {
+        name: "global-unroll".into(),
+        program: rebuild(prog, unroll(&global, UNROLL_LIMIT)),
+        tunables: vec![],
+        dims,
+        tiled: false,
+        local_mem: false,
+        unrolled: true,
+    });
+
+    // --- thread coarsening ----------------------------------------------
+    let cf = ArithExpr::var("CF");
+    if let Some(coarse) = coarsen_innermost(body, &cf) {
+        let mut kinds = glb_kinds(dims);
+        kinds.push(MapKind::Seq);
+        let lowered = unroll(&sequentialise(&lower_grid(&coarse, &kinds)), UNROLL_LIMIT);
+        let innermost_len = out_ty
+            .shape()
+            .last()
+            .and_then(|n| n.as_cst())
+            .unwrap_or(0);
+        if innermost_len > 0 {
+            variants.push(Variant {
+                name: "coarsened".into(),
+                program: rebuild(prog, lowered),
+                tunables: vec![Tunable::CoarsenFactor {
+                    var: "CF".into(),
+                    len: innermost_len,
+                }],
+                dims,
+                tiled: false,
+                local_mem: false,
+                unrolled: true,
+            });
+        }
+    }
+
+    // --- overlapped tiling ------------------------------------------------
+    if let Some(tile_info) = find_tile_info(body) {
+        let ts = ArithExpr::var("TS");
+        for (use_local, suffix) in [(false, "tiled"), (true, "tiled-local")] {
+            if let Some(tiled) = tile_anywhere(body, &ts, use_local) {
+                let kinds: Vec<MapKind> = match tile_info.dims {
+                    1 => vec![MapKind::Wrg(0), MapKind::Lcl(0)],
+                    _ => vec![
+                        MapKind::Wrg(1),
+                        MapKind::Wrg(0),
+                        MapKind::Lcl(1),
+                        MapKind::Lcl(0),
+                    ],
+                };
+                let lowered = sequentialise(&lower_grid(&tiled, &kinds));
+                let tunable = Tunable::TileSize {
+                    var: "TS".into(),
+                    nbh_size: tile_info.nbh_size,
+                    nbh_step: tile_info.nbh_step,
+                    lens: tile_info.lens.clone(),
+                };
+                variants.push(Variant {
+                    name: suffix.into(),
+                    program: rebuild(prog, lowered.clone()),
+                    tunables: vec![tunable.clone()],
+                    dims,
+                    tiled: true,
+                    local_mem: use_local,
+                    unrolled: false,
+                });
+                variants.push(Variant {
+                    name: format!("{suffix}-unroll"),
+                    program: rebuild(prog, unroll(&lowered, UNROLL_LIMIT)),
+                    tunables: vec![tunable],
+                    dims,
+                    tiled: true,
+                    local_mem: use_local,
+                    unrolled: true,
+                });
+            }
+        }
+    }
+
+    variants
+}
+
+struct TileInfo {
+    dims: usize,
+    nbh_size: i64,
+    nbh_step: i64,
+    lens: Vec<i64>,
+}
+
+fn find_tile_info(body: &Expr) -> Option<TileInfo> {
+    let mut result = None;
+    lift_core::visit::walk(body, &mut |node| {
+        if result.is_some() {
+            return;
+        }
+        if let Some(st) = match_stencil_2d(node) {
+            if let (Some(n), Some(s)) = (st.size.as_cst(), st.step.as_cst()) {
+                if let Ok(t) = typecheck(&st.input) {
+                    let lens: Vec<i64> =
+                        t.shape().iter().take(2).filter_map(ArithExpr::as_cst).collect();
+                    if lens.len() == 2 {
+                        result = Some(TileInfo {
+                            dims: 2,
+                            nbh_size: n,
+                            nbh_step: s,
+                            lens,
+                        });
+                        return;
+                    }
+                }
+            }
+        }
+        if let Some(st) = match_stencil_1d(node) {
+            if let (Some(n), Some(s)) = (st.size.as_cst(), st.step.as_cst()) {
+                if let Ok(t) = typecheck(&st.input) {
+                    if let Some(l) = t.shape().first().and_then(ArithExpr::as_cst) {
+                        result = Some(TileInfo {
+                            dims: 1,
+                            nbh_size: n,
+                            nbh_step: s,
+                            lens: vec![l],
+                        });
+                    }
+                }
+            }
+        }
+    });
+    result
+}
+
+/// Binds a variant's tunables and returns the concrete program, or `None`
+/// if any value is invalid.
+pub fn bind_tunables(
+    variant: &Variant,
+    values: &[(String, i64)],
+) -> Option<FunDecl> {
+    for t in &variant.tunables {
+        let v = values.iter().find(|(n, _)| n == t.var())?.1;
+        if !t.is_valid(v) {
+            return None;
+        }
+    }
+    let bindings = lift_arith::Bindings::from_iter(
+        values.iter().map(|(n, v)| (n.as_str(), *v)),
+    );
+    Some(lift_codegen_substitute(&variant.program, &bindings))
+}
+
+// Local re-implementation of size substitution to avoid a dependency cycle:
+// the rewrite crate sits below codegen in the build graph.
+fn lift_codegen_substitute(f: &FunDecl, b: &lift_arith::Bindings) -> FunDecl {
+    subst_fun(f, b, &mut std::collections::HashMap::new())
+}
+
+type PMap = std::collections::HashMap<u32, lift_core::expr::ParamRef>;
+
+fn subst_type(t: &lift_core::types::Type, b: &lift_arith::Bindings) -> lift_core::types::Type {
+    use lift_core::types::Type;
+    match t {
+        Type::Scalar(_) => t.clone(),
+        Type::Tuple(ts) => Type::Tuple(ts.iter().map(|x| subst_type(x, b)).collect()),
+        Type::Array(e, n) => Type::Array(Box::new(subst_type(e, b)), subst_arith(n, b)),
+    }
+}
+
+fn subst_arith(e: &ArithExpr, b: &lift_arith::Bindings) -> ArithExpr {
+    let map: std::collections::BTreeMap<lift_arith::Name, ArithExpr> = b
+        .iter()
+        .map(|(k, v)| (lift_arith::Name::from(k), ArithExpr::from(v)))
+        .collect();
+    e.substitute_all(&map)
+}
+
+fn subst_fun(f: &FunDecl, b: &lift_arith::Bindings, pm: &mut PMap) -> FunDecl {
+    use lift_core::expr::Param;
+    match f {
+        FunDecl::Lambda(l) => {
+            let params: Vec<_> = l
+                .params
+                .iter()
+                .map(|p| {
+                    let fresh = Param::fresh(p.name(), subst_type(p.ty(), b));
+                    pm.insert(p.id(), fresh.clone());
+                    fresh
+                })
+                .collect();
+            FunDecl::lambda(params, subst_expr(&l.body, b, pm))
+        }
+        FunDecl::UserFun(_) => f.clone(),
+        FunDecl::Pattern(p) => FunDecl::pattern(subst_pattern(p, b, pm)),
+    }
+}
+
+fn subst_expr(e: &Expr, b: &lift_arith::Bindings, pm: &mut PMap) -> Expr {
+    match e {
+        Expr::Param(p) => pm
+            .get(&p.id())
+            .map(|f| Expr::Param(f.clone()))
+            .unwrap_or_else(|| e.clone()),
+        Expr::Literal(_) => e.clone(),
+        Expr::Apply(app) => {
+            let fun = subst_fun(&app.fun, b, pm);
+            let args: Vec<Expr> = app.args.iter().map(|a| subst_expr(a, b, pm)).collect();
+            Expr::apply(fun, args)
+        }
+    }
+}
+
+fn subst_pattern(
+    p: &lift_core::pattern::Pattern,
+    b: &lift_arith::Bindings,
+    pm: &mut PMap,
+) -> lift_core::pattern::Pattern {
+    use lift_core::pattern::Pattern;
+    let s = |e: &ArithExpr| subst_arith(e, b);
+    match p {
+        Pattern::Map { kind, f } => Pattern::Map {
+            kind: *kind,
+            f: subst_fun(f, b, pm),
+        },
+        Pattern::Reduce { kind, f } => Pattern::Reduce {
+            kind: *kind,
+            f: subst_fun(f, b, pm),
+        },
+        Pattern::Iterate { times, f } => Pattern::Iterate {
+            times: s(times),
+            f: subst_fun(f, b, pm),
+        },
+        Pattern::ToLocal { f } => Pattern::ToLocal {
+            f: subst_fun(f, b, pm),
+        },
+        Pattern::ToGlobal { f } => Pattern::ToGlobal {
+            f: subst_fun(f, b, pm),
+        },
+        Pattern::ToPrivate { f } => Pattern::ToPrivate {
+            f: subst_fun(f, b, pm),
+        },
+        Pattern::Split { chunk } => Pattern::Split { chunk: s(chunk) },
+        Pattern::Slide { size, step } => Pattern::Slide {
+            size: s(size),
+            step: s(step),
+        },
+        Pattern::Pad {
+            left,
+            right,
+            boundary,
+        } => Pattern::Pad {
+            left: s(left),
+            right: s(right),
+            boundary: *boundary,
+        },
+        Pattern::PadValue { left, right, value } => Pattern::PadValue {
+            left: s(left),
+            right: s(right),
+            value: *value,
+        },
+        Pattern::At { index } => Pattern::At { index: s(index) },
+        Pattern::ArrayGen { fun, sizes } => Pattern::ArrayGen {
+            fun: fun.clone(),
+            sizes: sizes.iter().map(s).collect(),
+        },
+        other => other.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lift_core::prelude::*;
+
+    fn jacobi1d(n: i64) -> FunDecl {
+        lam_named("A", Type::array(Type::f32(), n), |a| {
+            let sum = lam(Type::array(Type::f32(), 3), |nbh| {
+                reduce(add_f32(), Expr::f32(0.0), nbh)
+            });
+            map(sum, slide(3, 1, pad(1, 1, Boundary::Clamp, a)))
+        })
+    }
+
+    fn jacobi2d(n: i64) -> FunDecl {
+        lam_named("A", Type::array_2d(Type::f32(), n, n), |a| {
+            let f = lam(Type::array_2d(Type::f32(), 3, 3), |nbh| {
+                reduce(add_f32(), Expr::f32(0.0), join(nbh))
+            });
+            lift_core::ndim::map2(
+                f,
+                lift_core::ndim::slide2(3, 1, lift_core::ndim::pad2(1, 1, Boundary::Clamp, a)),
+            )
+        })
+    }
+
+    #[test]
+    fn enumerates_expected_variants_1d() {
+        let vs = enumerate_variants(&jacobi1d(30));
+        let names: Vec<&str> = vs.iter().map(|v| v.name.as_str()).collect();
+        assert!(names.contains(&"global"));
+        assert!(names.contains(&"global-unroll"));
+        assert!(names.contains(&"coarsened"));
+        assert!(names.contains(&"tiled"));
+        assert!(names.contains(&"tiled-local"));
+        assert!(names.contains(&"tiled-local-unroll"));
+    }
+
+    #[test]
+    fn enumerates_expected_variants_2d() {
+        let vs = enumerate_variants(&jacobi2d(14));
+        let names: Vec<&str> = vs.iter().map(|v| v.name.as_str()).collect();
+        assert!(names.contains(&"tiled-local"), "got {names:?}");
+        let tiled = vs.iter().find(|v| v.name == "tiled").unwrap();
+        match &tiled.tunables[0] {
+            Tunable::TileSize {
+                nbh_size,
+                nbh_step,
+                lens,
+                ..
+            } => {
+                assert_eq!(*nbh_size, 3);
+                assert_eq!(*nbh_step, 1);
+                assert_eq!(lens, &vec![16, 16]); // padded
+            }
+            other => panic!("unexpected tunable {other:?}"),
+        }
+    }
+
+    #[test]
+    fn tile_size_validity() {
+        let t = Tunable::TileSize {
+            var: "TS".into(),
+            nbh_size: 3,
+            nbh_step: 1,
+            lens: vec![16, 16],
+        };
+        // v = u − 2 must divide 16 − u.
+        assert!(t.is_valid(4)); // v=2, (16−4)%2 == 0
+        assert!(t.is_valid(16)); // one tile
+        assert!(!t.is_valid(2)); // smaller than the neighbourhood
+        assert!(!t.is_valid(5)); // v=3, (16−5)%3 ≠ 0
+        assert_eq!(t.candidates(16), vec![3, 4, 9, 16]);
+    }
+
+    #[test]
+    fn coarsen_factor_validity() {
+        let t = Tunable::CoarsenFactor {
+            var: "CF".into(),
+            len: 12,
+        };
+        assert_eq!(t.candidates(12), vec![1, 2, 3, 4, 6, 12]);
+    }
+
+    #[test]
+    fn variants_typecheck_to_same_type() {
+        let prog = jacobi2d(14);
+        let want = typecheck_fun(&prog).unwrap();
+        for v in enumerate_variants(&prog) {
+            if v.tunables.is_empty() {
+                assert_eq!(
+                    typecheck_fun(&v.program).unwrap(),
+                    want,
+                    "variant {} changed the type",
+                    v.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bind_tunables_concretises() {
+        let prog = jacobi2d(14);
+        let vs = enumerate_variants(&prog);
+        let tiled = vs.iter().find(|v| v.name == "tiled").unwrap();
+        let bound = bind_tunables(tiled, &[("TS".into(), 4)]).expect("valid");
+        // Fully concrete now: typechecks to the same type as the original.
+        assert_eq!(
+            typecheck_fun(&bound).unwrap(),
+            typecheck_fun(&prog).unwrap()
+        );
+        // Invalid tile size is rejected.
+        assert!(bind_tunables(tiled, &[("TS".into(), 5)]).is_none());
+    }
+}

@@ -1,0 +1,89 @@
+//! The paper's §3.5 case study: a 3D room-acoustics simulation, time-stepped
+//! on the host exactly as real wave solvers do (the paper evaluates a single
+//! iteration per kernel; time stepping swaps buffers between launches).
+//!
+//! A pressure impulse is placed in the middle of the room; the example runs
+//! several leapfrog steps on the virtual GPU and tracks the wavefront.
+//!
+//! ```text
+//! cargo run --release --example acoustic_room
+//! ```
+
+use lift::lift_codegen::compile_kernel;
+use lift::lift_oclsim::{BufferData, DeviceProfile, LaunchConfig, VirtualDevice};
+use lift::lift_stencils::by_name;
+
+fn main() {
+    let bench = by_name("Acoustic");
+    let sizes = [16usize, 24, 24];
+    let (nz, ny, nx) = (sizes[0], sizes[1], sizes[2]);
+
+    // Lower the §3.5 expression (zip3 of point grid, slide3 neighbourhoods
+    // and the generated neighbour-count mask) to a global kernel.
+    let prog = bench.program(&sizes);
+    let variants = lift::lift_rewrite::enumerate_variants(&prog);
+    let lowered = &variants
+        .iter()
+        .find(|v| v.name == "global-unroll")
+        .expect("variant exists")
+        .program;
+    let kernel = compile_kernel("acoustic", lowered).expect("compiles");
+    println!(
+        "acoustic kernel: {} lines of OpenCL",
+        kernel.to_source().lines().count()
+    );
+
+    // Impulse in the middle of the room.
+    let mut prev = vec![0.0f32; nz * ny * nx];
+    let mut cur = vec![0.0f32; nz * ny * nx];
+    cur[(nz / 2 * ny + ny / 2) * nx + nx / 2] = 1.0;
+
+    let dev = VirtualDevice::new(DeviceProfile::k20c());
+    let launch = LaunchConfig::d3([nx, ny, nz], [8, 4, 1]);
+
+    println!("\nstep |   energy   | wavefront radius (cells)");
+    let mut total_time = 0.0;
+    for step in 0..8 {
+        let out = dev
+            .run(
+                &kernel,
+                &[
+                    BufferData::F32(prev.clone()),
+                    BufferData::F32(cur.clone()),
+                ],
+                launch,
+            )
+            .expect("runs");
+        total_time += out.time_s;
+        let next = out.output.as_f32().to_vec();
+
+        // Wavefront: farthest cell with noticeable pressure.
+        let mut radius: f64 = 0.0;
+        let mut energy = 0.0f64;
+        for z in 0..nz {
+            for y in 0..ny {
+                for x in 0..nx {
+                    let v = next[(z * ny + y) * nx + x];
+                    energy += (v as f64) * (v as f64);
+                    if v.abs() > 1e-4 {
+                        let dz = z as f64 - (nz / 2) as f64;
+                        let dy = y as f64 - (ny / 2) as f64;
+                        let dx = x as f64 - (nx / 2) as f64;
+                        radius = radius.max((dz * dz + dy * dy + dx * dx).sqrt());
+                    }
+                }
+            }
+        }
+        println!("{step:>4} | {energy:>10.4e} | {radius:>6.2}");
+
+        prev = cur;
+        cur = next;
+    }
+    println!(
+        "\n8 steps on the virtual {} took {:.2} us (modeled kernel time)",
+        dev.profile().name,
+        total_time * 1e6
+    );
+    println!("The wavefront expands roughly one cell per step: the 7-point");
+    println!("leapfrog update propagates pressure to face neighbours only.");
+}

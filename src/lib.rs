@@ -1,0 +1,33 @@
+//! # lift — stencil code generation with rewrite rules
+//!
+//! A Rust reproduction of *High Performance Stencil Code Generation with
+//! Lift* (Hagedorn et al., CGO 2018). This facade crate re-exports the whole
+//! pipeline:
+//!
+//! * [`lift_arith`] — symbolic size/index arithmetic,
+//! * [`lift_core`] — the Lift IR: primitives (`map`, `reduce`, `zip`, …) plus
+//!   the paper's stencil extensions `slide` and `pad`,
+//! * [`lift_rewrite`] — optimisations as rewrite rules (overlapped tiling,
+//!   local memory, loop unrolling) and lowering strategies,
+//! * [`lift_codegen`] — view-based OpenCL-C code generation,
+//! * [`lift_oclsim`] — a virtual OpenCL GPU that executes generated kernels
+//!   and models their performance on K20c / HD 7970 / Mali profiles,
+//! * [`lift_tuner`] — ATF-style auto-tuning,
+//! * [`lift_ppcg`] — the PPCG-like polyhedral baseline,
+//! * [`lift_stencils`] — the paper's benchmark suite (Table 1),
+//! * [`lift_harness`] — drivers regenerating Figures 7 and 8.
+//!
+//! # Quickstart
+//!
+//! See `examples/quickstart.rs` for the paper's 3-point Jacobi example
+//! (Listing 2) compiled to OpenCL and executed on the virtual GPU.
+
+pub use lift_arith;
+pub use lift_codegen;
+pub use lift_core;
+pub use lift_harness;
+pub use lift_oclsim;
+pub use lift_ppcg;
+pub use lift_rewrite;
+pub use lift_stencils;
+pub use lift_tuner;

@@ -1,0 +1,127 @@
+//! Integration: the complete pipeline — high-level program → lowering →
+//! OpenCL code generation → execution on the virtual device — validated
+//! against the golden reference for **every** Table-1 benchmark.
+
+use lift::lift_codegen::compile_kernel;
+use lift::lift_oclsim::{BufferData, DeviceProfile, LaunchConfig, VirtualDevice};
+use lift::lift_rewrite::enumerate_variants;
+use lift::lift_stencils::{suite, Benchmark};
+
+fn tiny(sizes: &[usize]) -> Vec<usize> {
+    sizes.iter().map(|s| (*s).clamp(6, 12)).collect()
+}
+
+fn close(a: &[f32], b: &[f32]) -> bool {
+    a.len() == b.len()
+        && a.iter()
+            .zip(b)
+            .all(|(x, y)| (x - y).abs() <= 1e-4 * y.abs().max(1.0))
+}
+
+fn launch_for(bench: &Benchmark, sizes: &[usize]) -> LaunchConfig {
+    match bench.dims {
+        1 => LaunchConfig::d1(sizes[0].next_power_of_two(), 4),
+        2 => LaunchConfig::d2(
+            sizes[1].next_power_of_two(),
+            sizes[0].next_power_of_two(),
+            4,
+            4,
+        ),
+        _ => LaunchConfig::d3(
+            [
+                sizes[2].next_power_of_two(),
+                sizes[1].next_power_of_two(),
+                sizes[0].next_power_of_two(),
+            ],
+            [4, 4, 2],
+        ),
+    }
+}
+
+#[test]
+fn every_benchmark_compiles_and_runs_bit_close_on_all_devices() {
+    for bench in suite() {
+        let sizes = tiny(bench.small);
+        let prog = bench.program(&sizes);
+        let variants = enumerate_variants(&prog);
+        let global = variants
+            .iter()
+            .find(|v| v.name == "global")
+            .unwrap_or_else(|| panic!("{}: no global variant", bench.name));
+        let kernel = compile_kernel(&bench.name.to_lowercase(), &global.program)
+            .unwrap_or_else(|e| panic!("{}: codegen failed: {e}", bench.name));
+
+        let raw_inputs = bench.gen_inputs(&sizes, 11);
+        let golden = bench.golden(&raw_inputs, &sizes);
+        let inputs: Vec<BufferData> = raw_inputs.into_iter().map(BufferData::F32).collect();
+        let launch = launch_for(&bench, &sizes);
+
+        for profile in DeviceProfile::all() {
+            let dev = VirtualDevice::new(profile);
+            let out = dev
+                .run(&kernel, &inputs, launch)
+                .unwrap_or_else(|e| panic!("{} on {}: {e}", bench.name, dev.profile().name));
+            assert!(
+                close(out.output.as_f32(), &golden),
+                "{} on {}: wrong output",
+                bench.name,
+                dev.profile().name
+            );
+            assert!(out.time_s > 0.0);
+        }
+    }
+}
+
+#[test]
+fn unrolled_variants_match_golden_too() {
+    for bench in suite() {
+        let sizes = tiny(bench.small);
+        let prog = bench.program(&sizes);
+        let variants = enumerate_variants(&prog);
+        let Some(v) = variants.iter().find(|v| v.name == "global-unroll") else {
+            continue;
+        };
+        let kernel = match compile_kernel("k", &v.program) {
+            Ok(k) => k,
+            Err(e) => panic!("{}: unrolled codegen failed: {e}", bench.name),
+        };
+        let raw_inputs = bench.gen_inputs(&sizes, 5);
+        let golden = bench.golden(&raw_inputs, &sizes);
+        let inputs: Vec<BufferData> = raw_inputs.into_iter().map(BufferData::F32).collect();
+        let dev = VirtualDevice::new(DeviceProfile::hd7970());
+        let out = dev
+            .run(&kernel, &inputs, launch_for(&bench, &sizes))
+            .unwrap_or_else(|e| panic!("{}: {e}", bench.name));
+        assert!(
+            close(out.output.as_f32(), &golden),
+            "{}: unrolled variant diverges",
+            bench.name
+        );
+    }
+}
+
+#[test]
+fn generated_sources_embed_user_functions() {
+    for bench in suite() {
+        let sizes = tiny(bench.small);
+        let prog = bench.program(&sizes);
+        let variants = enumerate_variants(&prog);
+        let global = variants.iter().find(|v| v.name == "global").expect("exists");
+        let kernel = compile_kernel("k", &global.program).expect("compiles");
+        let src = kernel.to_source();
+        assert!(src.contains("__kernel void k("), "{}", bench.name);
+        assert!(
+            !kernel.user_funs.is_empty(),
+            "{}: no user functions collected",
+            bench.name
+        );
+        for uf in &kernel.user_funs {
+            assert!(
+                src.contains(uf.name()),
+                "{}: source lacks definition of `{}`",
+                bench.name,
+                uf.name()
+            );
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! The paper's worked examples, verbatim, through the public API:
+//! Listing 1/2 (3-point Jacobi), the §3.4 `pad2`/`slide2` expansions, the
+//! §4.1 tiling constraint, and the §3.5 acoustic structure.
+
+use lift::lift_core::eval::{eval_fun, DataValue};
+use lift::lift_core::ndim::{pad2, slide2};
+use lift::lift_core::prelude::*;
+
+/// Listing 1 (C) vs Listing 2 (Lift): the same 3-point sum.
+#[test]
+fn listing1_equals_listing2() {
+    let n = 10usize;
+    let a: Vec<f32> = (0..n).map(|i| (i * i % 13) as f32).collect();
+
+    // Listing 1, transcribed:
+    let mut c_result = vec![0.0f32; n];
+    for i in 0..n as i64 {
+        let mut sum = 0.0;
+        for j in -1..=1 {
+            let mut pos = i + j;
+            pos = if pos < 0 { 0 } else { pos };
+            pos = if pos > n as i64 - 1 { n as i64 - 1 } else { pos };
+            sum += a[pos as usize];
+        }
+        c_result[i as usize] = sum;
+    }
+
+    // Listing 2:
+    let stencil = lam_named("A", Type::array(Type::f32(), n), |arr| {
+        let sum_nbh = lam(Type::array(Type::f32(), 3), |nbh| {
+            reduce(add_f32(), Expr::f32(0.0), nbh)
+        });
+        map(sum_nbh, slide(3, 1, pad(1, 1, Boundary::Clamp, arr)))
+    });
+    let lift_result = eval_fun(&stencil, &[DataValue::from_f32s(a)])
+        .expect("evaluates")
+        .flatten_f32();
+
+    assert_eq!(lift_result, c_result);
+}
+
+/// §3.4's pad2 worked example:
+/// `pad2(1, 1, clamp, [[a, b], [c, d]])` = the 4×4 matrix with every border
+/// doubled.
+#[test]
+fn pad2_worked_example() {
+    let prog = lam_named("G", Type::array_2d(Type::f32(), 2, 2), |g| {
+        pad2(1, 1, Boundary::Clamp, g)
+    });
+    let (a, b, c, d) = (1.0, 2.0, 3.0, 4.0);
+    let out = eval_fun(&prog, &[DataValue::from_f32s_2d(&[a, b, c, d], 2, 2)])
+        .expect("evaluates")
+        .flatten_f32();
+    #[rustfmt::skip]
+    let expected = vec![
+        a, a, b, b,
+        a, a, b, b,
+        c, c, d, d,
+        c, c, d, d,
+    ];
+    assert_eq!(out, expected);
+}
+
+/// §3.4's slide2 worked example on [[a..i]]: four 2×2 neighbourhoods.
+#[test]
+fn slide2_worked_example() {
+    let prog = lam_named("G", Type::array_2d(Type::f32(), 3, 3), |g| slide2(2, 1, g));
+    let vals: Vec<f32> = (1..=9).map(|v| v as f32).collect(); // a..i
+    let out = eval_fun(&prog, &[DataValue::from_f32s_2d(&vals, 3, 3)])
+        .expect("evaluates")
+        .flatten_f32();
+    // [[a,b],[d,e]], [[b,c],[e,f]], [[d,e],[g,h]], [[e,f],[h,i]]
+    #[rustfmt::skip]
+    let expected = vec![
+        1.0, 2.0, 4.0, 5.0,
+        2.0, 3.0, 5.0, 6.0,
+        4.0, 5.0, 7.0, 8.0,
+        5.0, 6.0, 8.0, 9.0,
+    ];
+    assert_eq!(out, expected);
+}
+
+/// §4.1: "the difference between the size and step has to match the
+/// difference of u and v" — for the 3-point Jacobi with u = 5, v must be 3,
+/// and then both sides produce the same number of neighbourhoods.
+#[test]
+fn tiling_parameter_constraint() {
+    use lift::lift_arith::ArithExpr;
+    let n = 18usize;
+    let prog = lam_named("A", Type::array(Type::f32(), n), |a| {
+        let sum = lam(Type::array(Type::f32(), 3), |nbh| {
+            reduce(add_f32(), Expr::f32(0.0), nbh)
+        });
+        map(sum, slide(3, 1, pad(1, 1, Boundary::Clamp, a)))
+    });
+    let FunDecl::Lambda(l) = &prog else {
+        unreachable!()
+    };
+    let tiled =
+        lift::lift_rewrite::rules::tile_1d(&l.body, &ArithExpr::from(5), false).expect("tiles");
+    // Type preservation implies equal neighbourhood counts on both sides.
+    assert_eq!(typecheck(&l.body).unwrap(), typecheck(&tiled).unwrap());
+}
+
+/// §3.5: the acoustic expression zips three 3D structures (point grid, slid
+/// neighbourhoods, generated mask) and the program typechecks to the grid
+/// shape.
+#[test]
+fn acoustic_structure_typechecks() {
+    let bench = lift::lift_stencils::by_name("Acoustic");
+    let prog = bench.program(&[8, 10, 12]);
+    let ty = typecheck_fun(&prog).expect("typechecks");
+    assert_eq!(ty.to_string(), "[[[f32]_12]_10]_8");
+}
+
+/// The dampening/constant boundary of §3.2: `padValue` produces the
+/// constant outside the array.
+#[test]
+fn pad_value_constant_boundary() {
+    let prog = lam_named("A", Type::array(Type::f32(), 3), |a| {
+        pad_value(2, 1, 9.5f32, a)
+    });
+    let out = eval_fun(&prog, &[DataValue::from_f32s([1.0, 2.0, 3.0])])
+        .expect("evaluates")
+        .flatten_f32();
+    assert_eq!(out, vec![9.5, 9.5, 1.0, 2.0, 3.0, 9.5]);
+}
+
+/// Boundary re-indexing variants from §3.2 (clamp shown in the paper;
+/// mirror and wrap are "similarly defined").
+#[test]
+fn boundary_families() {
+    for (b, expected) in [
+        (Boundary::Clamp, vec![1.0, 1.0, 2.0, 3.0, 3.0]),
+        (Boundary::Mirror, vec![1.0, 1.0, 2.0, 3.0, 3.0]),
+        (Boundary::Wrap, vec![3.0, 1.0, 2.0, 3.0, 1.0]),
+    ] {
+        let prog = lam_named("A", Type::array(Type::f32(), 3), move |a| pad(1, 1, b, a));
+        let out = eval_fun(&prog, &[DataValue::from_f32s([1.0, 2.0, 3.0])])
+            .expect("evaluates")
+            .flatten_f32();
+        assert_eq!(out, expected, "{b:?}");
+    }
+}

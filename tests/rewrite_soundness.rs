@@ -1,0 +1,178 @@
+//! Property tests: the paper's rewrite rules are semantics-preserving for
+//! *random* shapes, sizes and inputs — checked against both the reference
+//! evaluator and the full codegen+simulator pipeline.
+
+use proptest::prelude::*;
+
+use lift::lift_arith::ArithExpr;
+use lift::lift_codegen::compile_kernel;
+use lift::lift_core::eval::{eval_fun, DataValue};
+use lift::lift_core::prelude::*;
+use lift::lift_oclsim::{DeviceProfile, LaunchConfig, VirtualDevice};
+use lift::lift_rewrite::rules::{tile_1d, tile_2d};
+
+fn jacobi1d_prog(n: usize) -> FunDecl {
+    lam_named("A", Type::array(Type::f32(), n), |a| {
+        let sum = lam(Type::array(Type::f32(), 3), |nbh| {
+            reduce(add_f32(), Expr::f32(0.0), nbh)
+        });
+        map(sum, slide(3, 1, pad(1, 1, Boundary::Clamp, a)))
+    })
+}
+
+fn sum2d_prog(n: usize) -> FunDecl {
+    lam_named("A", Type::array_2d(Type::f32(), n, n), |a| {
+        let f = lam(Type::array_2d(Type::f32(), 3, 3), |nbh| {
+            reduce(add_f32(), Expr::f32(0.0), join(nbh))
+        });
+        lift::lift_core::ndim::map2(
+            f,
+            lift::lift_core::ndim::slide2(
+                3,
+                1,
+                lift::lift_core::ndim::pad2(1, 1, Boundary::Clamp, a),
+            ),
+        )
+    })
+}
+
+/// Valid (n, tile) pairs for a padded length `n + 2` with nbh (3, 1):
+/// `v = u − 2` must divide `n + 2 − u`.
+fn valid_tiles(padded: usize) -> Vec<usize> {
+    (3..=padded)
+        .filter(|u| {
+            let v = u - 2;
+            v > 0 && (padded - u).is_multiple_of(v)
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// 1D overlapped tiling preserves evaluator semantics for random sizes,
+    /// tile sizes and inputs.
+    #[test]
+    fn tile_1d_sound(
+        n in 6usize..40,
+        pick in 0usize..1000,
+        values in proptest::collection::vec(-100.0f32..100.0, 40),
+    ) {
+        let prog = jacobi1d_prog(n);
+        let FunDecl::Lambda(l) = &prog else { unreachable!() };
+        let tiles = valid_tiles(n + 2);
+        prop_assume!(!tiles.is_empty());
+        let u = tiles[pick % tiles.len()];
+        let tiled_body = tile_1d(&l.body, &ArithExpr::from(u), false);
+        prop_assume!(tiled_body.is_some());
+        let tiled = FunDecl::lambda(l.params.clone(), tiled_body.expect("checked"));
+
+        let input = DataValue::from_f32s(values[..n].iter().copied());
+        let lhs = eval_fun(&prog, std::slice::from_ref(&input)).expect("evaluates");
+        let rhs = eval_fun(&tiled, &[input]).expect("evaluates");
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    /// 2D overlapped tiling (with and without local-memory staging)
+    /// preserves evaluator semantics.
+    #[test]
+    fn tile_2d_sound(
+        n in 6usize..18,
+        pick in 0usize..1000,
+        use_local in proptest::bool::ANY,
+        seed in 0u64..1000,
+    ) {
+        let prog = sum2d_prog(n);
+        let FunDecl::Lambda(l) = &prog else { unreachable!() };
+        let tiles = valid_tiles(n + 2);
+        prop_assume!(!tiles.is_empty());
+        let u = tiles[pick % tiles.len()];
+        let tiled_body = tile_2d(&l.body, &ArithExpr::from(u), use_local);
+        prop_assume!(tiled_body.is_some());
+        let tiled = FunDecl::lambda(l.params.clone(), tiled_body.expect("checked"));
+
+        let data: Vec<f32> = (0..n * n)
+            .map(|i| ((i as u64).wrapping_mul(seed + 1) % 97) as f32 - 48.0)
+            .collect();
+        let input = DataValue::from_f32s_2d(&data, n, n);
+        let lhs = eval_fun(&prog, std::slice::from_ref(&input)).expect("evaluates");
+        let rhs = eval_fun(&tiled, &[input]).expect("evaluates");
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    /// The generated kernel agrees with the evaluator for random inputs —
+    /// codegen and the simulator implement the same semantics as the
+    /// reference interpreter.
+    #[test]
+    fn codegen_agrees_with_evaluator(
+        n in 6usize..24,
+        values in proptest::collection::vec(-10.0f32..10.0, 24),
+    ) {
+        let prog = jacobi1d_prog(n);
+        let variants = lift::lift_rewrite::enumerate_variants(&prog);
+        let global = variants.iter().find(|v| v.name == "global").expect("exists");
+        let kernel = compile_kernel("k", &global.program).expect("compiles");
+
+        let input_vec = values[..n].to_vec();
+        let evaluated = eval_fun(
+            &prog,
+            &[DataValue::from_f32s(input_vec.iter().copied())],
+        )
+        .expect("evaluates")
+        .flatten_f32();
+
+        let dev = VirtualDevice::new(DeviceProfile::mali_t628());
+        let out = dev
+            .run(
+                &kernel,
+                &[input_vec.into()],
+                LaunchConfig::d1(n.next_power_of_two(), 4),
+            )
+            .expect("runs");
+        prop_assert_eq!(out.output.as_f32(), evaluated.as_slice());
+    }
+}
+
+/// The tiled kernel and the untiled kernel produce identical buffers when
+/// executed on the virtual device (not just under the evaluator).
+#[test]
+fn tiled_kernel_matches_untiled_on_device() {
+    let n = 30usize; // padded 32: tile 4 (v=2) works
+    let prog = jacobi1d_prog(n);
+    let FunDecl::Lambda(l) = &prog else {
+        unreachable!()
+    };
+    let variants = lift::lift_rewrite::enumerate_variants(&prog);
+    let global = variants.iter().find(|v| v.name == "global").expect("exists");
+    let untiled = compile_kernel("untiled", &global.program).expect("compiles");
+
+    let tiled_body = tile_1d(&l.body, &ArithExpr::from(4), true).expect("tiles");
+    let tiled_prog = FunDecl::lambda(l.params.clone(), tiled_body);
+    let lowered = lift::lift_rewrite::lowering::lower_grid(
+        match &tiled_prog {
+            FunDecl::Lambda(l) => &l.body,
+            _ => unreachable!(),
+        },
+        &[
+            lift::lift_core::pattern::MapKind::Wrg(0),
+            lift::lift_core::pattern::MapKind::Lcl(0),
+        ],
+    );
+    let lowered = lift::lift_rewrite::lowering::sequentialise(&lowered);
+    let tiled_prog = FunDecl::lambda(l.params.clone(), lowered);
+    let tiled = compile_kernel("tiled", &tiled_prog).expect("compiles");
+    assert!(!tiled.locals.is_empty(), "local staging expected");
+
+    let input: Vec<f32> = (0..n).map(|i| (i as f32 * 0.7).cos()).collect();
+    let dev = VirtualDevice::new(DeviceProfile::k20c());
+    let a = dev
+        .run(&untiled, &[input.clone().into()], LaunchConfig::d1(32, 8))
+        .expect("runs");
+    // 15 tiles of (4-3+1)*... = (32-4)/2+1 = 15 groups.
+    let b = dev
+        .run(&tiled, &[input.into()], LaunchConfig::d1(15 * 4, 4))
+        .expect("runs");
+    assert_eq!(a.output.as_f32(), b.output.as_f32());
+    assert!(b.stats.local_accesses > 0);
+    assert!(b.stats.barriers > 0);
+}
