@@ -130,9 +130,7 @@ impl ArithExpr {
     fn eval_dyn(&self, env: &dyn Fn(&str) -> Option<i64>) -> Result<i64, EvalArithError> {
         match self {
             ArithExpr::Cst(c) => Ok(*c),
-            ArithExpr::Var(v) => {
-                env(v).ok_or_else(|| EvalArithError::UnboundVariable(v.clone()))
-            }
+            ArithExpr::Var(v) => env(v).ok_or_else(|| EvalArithError::UnboundVariable(v.clone())),
             ArithExpr::Sum(ts) => {
                 let mut acc = 0i64;
                 for t in ts {
@@ -224,10 +222,7 @@ mod tests {
     #[test]
     fn eval_div_by_zero_reports_expr() {
         let env = Bindings::from_iter([("N", 4), ("Z", 0)]);
-        let e = ArithExpr::Div(
-            Box::new(ArithExpr::var("N")),
-            Box::new(ArithExpr::var("Z")),
-        );
+        let e = ArithExpr::Div(Box::new(ArithExpr::var("N")), Box::new(ArithExpr::var("Z")));
         match e.eval(&env) {
             Err(EvalArithError::DivisionByZero(s)) => assert!(s.contains('Z')),
             other => panic!("expected division-by-zero error, got {other:?}"),

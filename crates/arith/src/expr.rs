@@ -331,12 +331,8 @@ impl ArithExpr {
             ArithExpr::Var(v) => map.get(v).cloned().unwrap_or_else(|| self.clone()),
             ArithExpr::Sum(ts) => ArithExpr::sum(ts.iter().map(|t| t.substitute_all(map))),
             ArithExpr::Prod(ts) => ArithExpr::prod(ts.iter().map(|t| t.substitute_all(map))),
-            ArithExpr::Div(a, b) => {
-                ArithExpr::div(a.substitute_all(map), b.substitute_all(map))
-            }
-            ArithExpr::Mod(a, b) => {
-                ArithExpr::modulo(a.substitute_all(map), b.substitute_all(map))
-            }
+            ArithExpr::Div(a, b) => ArithExpr::div(a.substitute_all(map), b.substitute_all(map)),
+            ArithExpr::Mod(a, b) => ArithExpr::modulo(a.substitute_all(map), b.substitute_all(map)),
             ArithExpr::Min(a, b) => ArithExpr::min(a.substitute_all(map), b.substitute_all(map)),
             ArithExpr::Max(a, b) => ArithExpr::max(a.substitute_all(map), b.substitute_all(map)),
         }
@@ -387,8 +383,7 @@ fn try_div_exact(num: &ArithExpr, den: &ArithExpr) -> Option<ArithExpr> {
             Some(ArithExpr::Cst(a / b))
         }
         (ArithExpr::Sum(terms), _) => {
-            let quotients: Option<Vec<_>> =
-                terms.iter().map(|t| try_div_exact(t, den)).collect();
+            let quotients: Option<Vec<_>> = terms.iter().map(|t| try_div_exact(t, den)).collect();
             quotients.map(ArithExpr::sum)
         }
         (ArithExpr::Prod(fs), _) => {
@@ -676,7 +671,10 @@ mod tests {
     #[test]
     fn modulo_simplifies_multiples() {
         assert_eq!((n() * 4) % ArithExpr::from(4), ArithExpr::from(0));
-        assert_eq!((n() * 4 + 1) % ArithExpr::from(4), ArithExpr::from(1) % ArithExpr::from(4));
+        assert_eq!(
+            (n() * 4 + 1) % ArithExpr::from(4),
+            ArithExpr::from(1) % ArithExpr::from(4)
+        );
         assert_eq!(n() % n(), ArithExpr::from(0));
     }
 

@@ -1,8 +1,11 @@
 //! Property tests: the simplifying constructors must preserve the value of
 //! every expression under every environment, and canonicalisation must be
 //! idempotent and congruent.
-
-use proptest::prelude::*;
+//!
+//! The properties are checked over a deterministic stream of pseudo-random
+//! expression trees and environments (SplitMix64) — no external property
+//! testing framework is available in this environment, so each test fixes
+//! its seed and case count and is exactly reproducible.
 
 use crate::{ArithExpr, Bindings};
 
@@ -54,112 +57,168 @@ impl Raw {
     }
 }
 
+/// Deterministic pseudo-random stream (SplitMix64).
+struct Rng(lift_tuner::SplitMix64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(lift_tuner::SplitMix64::new(seed))
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.0.gen_range(n as usize) as u64
+    }
+
+    fn range(&mut self, lo: i64, hi: i64) -> i64 {
+        lo + self.below((hi - lo) as u64) as i64
+    }
+}
+
 /// Strictly positive sub-expressions, safe as divisors.
-fn positive_raw() -> impl Strategy<Value = Raw> {
-    prop_oneof![
-        (1i64..7).prop_map(Raw::Cst),
-        (0u8..4).prop_map(|v| Raw::Add(
+fn positive_raw(rng: &mut Rng) -> Raw {
+    if rng.below(2) == 0 {
+        Raw::Cst(rng.range(1, 7))
+    } else {
+        let v = rng.below(4) as u8;
+        Raw::Add(
             Box::new(Raw::Cst(1)),
             Box::new(Raw::Mul(Box::new(Raw::Var(v)), Box::new(Raw::Var(v)))),
-        )),
+        )
+    }
+}
+
+/// A random expression tree of bounded depth, matching the shapes the old
+/// proptest strategy produced.
+fn raw_expr(rng: &mut Rng, depth: usize) -> Raw {
+    if depth == 0 || rng.below(4) == 0 {
+        return if rng.below(2) == 0 {
+            Raw::Cst(rng.range(-6, 7))
+        } else {
+            Raw::Var(rng.below(4) as u8)
+        };
+    }
+    let a = Box::new(raw_expr(rng, depth - 1));
+    match rng.below(7) {
+        0 => Raw::Add(a, Box::new(raw_expr(rng, depth - 1))),
+        1 => Raw::Sub(a, Box::new(raw_expr(rng, depth - 1))),
+        2 => Raw::Mul(a, Box::new(raw_expr(rng, depth - 1))),
+        3 => Raw::Div(a, Box::new(positive_raw(rng))),
+        4 => Raw::Mod(a, Box::new(positive_raw(rng))),
+        5 => Raw::Min(a, Box::new(raw_expr(rng, depth - 1))),
+        _ => Raw::Max(a, Box::new(raw_expr(rng, depth - 1))),
+    }
+}
+
+fn env(rng: &mut Rng) -> [i64; 4] {
+    [
+        rng.range(-20, 40),
+        rng.range(-20, 40),
+        rng.range(-20, 40),
+        rng.range(-20, 40),
     ]
-}
-
-fn raw_expr() -> impl Strategy<Value = Raw> {
-    let leaf = prop_oneof![(-6i64..7).prop_map(Raw::Cst), (0u8..4).prop_map(Raw::Var)];
-    leaf.prop_recursive(4, 40, 3, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Raw::Add(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Raw::Sub(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Raw::Mul(Box::new(a), Box::new(b))),
-            (inner.clone(), positive_raw())
-                .prop_map(|(a, b)| Raw::Div(Box::new(a), Box::new(b))),
-            (inner.clone(), positive_raw())
-                .prop_map(|(a, b)| Raw::Mod(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Raw::Min(Box::new(a), Box::new(b))),
-            (inner.clone(), inner)
-                .prop_map(|(a, b)| Raw::Max(Box::new(a), Box::new(b))),
-        ]
-    })
-}
-
-fn env_strategy() -> impl Strategy<Value = [i64; 4]> {
-    [(-20i64..40), (-20i64..40), (-20i64..40), (-20i64..40)]
 }
 
 fn bindings(env: &[i64; 4]) -> Bindings {
     Bindings::from_iter(VAR_NAMES.iter().zip(env.iter()).map(|(n, v)| (*n, *v)))
 }
 
-proptest! {
-    /// Canonicalisation preserves semantics.
-    #[test]
-    fn simplify_preserves_value(raw in raw_expr(), env in env_strategy()) {
-        let expected = raw.eval(&env);
-        let built = raw.build();
-        let got = built.eval(&bindings(&env)).expect("all vars bound");
-        prop_assert_eq!(expected, got, "simplified form {} diverged", built);
-    }
+const CASES: usize = 256;
 
-    /// Building an already-canonical expression again is the identity:
-    /// x + 0, x * 1 round-trips.
-    #[test]
-    fn canonical_form_is_fixed_point(raw in raw_expr()) {
+/// Canonicalisation preserves semantics.
+#[test]
+fn simplify_preserves_value() {
+    let mut rng = Rng::new(0xa1);
+    for _ in 0..CASES {
+        let raw = raw_expr(&mut rng, 4);
+        let e = env(&mut rng);
+        let expected = raw.eval(&e);
         let built = raw.build();
-        let again = built.clone() + ArithExpr::from(0);
-        prop_assert_eq!(built.clone(), again);
-        let again = built.clone() * ArithExpr::from(1);
-        prop_assert_eq!(built, again);
+        let got = built.eval(&bindings(&e)).expect("all vars bound");
+        assert_eq!(
+            expected, got,
+            "simplified form {built} diverged from {raw:?}"
+        );
     }
+}
 
-    /// Substitution commutes with evaluation.
-    #[test]
-    fn substitution_commutes_with_eval(raw in raw_expr(), env in env_strategy()) {
+/// Building an already-canonical expression again is the identity:
+/// x + 0, x * 1 round-trips.
+#[test]
+fn canonical_form_is_fixed_point() {
+    let mut rng = Rng::new(0xb2);
+    for _ in 0..CASES {
+        let built = raw_expr(&mut rng, 4).build();
+        assert_eq!(built, built.clone() + ArithExpr::from(0));
+        assert_eq!(built, built.clone() * ArithExpr::from(1));
+    }
+}
+
+/// Substitution commutes with evaluation.
+#[test]
+fn substitution_commutes_with_eval() {
+    let mut rng = Rng::new(0xc3);
+    for _ in 0..CASES {
+        let raw = raw_expr(&mut rng, 4);
+        let e = env(&mut rng);
         let built = raw.build();
         let substituted = VAR_NAMES
             .iter()
-            .zip(env.iter())
-            .fold(built.clone(), |e, (n, v)| e.substitute(n, &ArithExpr::from(*v)));
-        let direct = built.eval(&bindings(&env)).expect("all vars bound");
-        prop_assert_eq!(substituted.as_cst(), Some(direct));
+            .zip(e.iter())
+            .fold(built.clone(), |x, (n, v)| {
+                x.substitute(n, &ArithExpr::from(*v))
+            });
+        let direct = built.eval(&bindings(&e)).expect("all vars bound");
+        assert_eq!(substituted.as_cst(), Some(direct), "{built}");
     }
+}
 
-    /// Interval analysis is sound: the concrete value lies in the interval.
-    #[test]
-    fn interval_is_sound(raw in raw_expr(), env in env_strategy()) {
-        use crate::range::Interval;
+/// Interval analysis is sound: the concrete value lies in the interval.
+#[test]
+fn interval_is_sound() {
+    use crate::range::Interval;
+    let mut rng = Rng::new(0xd4);
+    for _ in 0..CASES {
+        let raw = raw_expr(&mut rng, 4);
+        let e = env(&mut rng);
         let built = raw.build();
-        let value = built.eval(&bindings(&env)).expect("all vars bound");
+        let value = built.eval(&bindings(&e)).expect("all vars bound");
         let point_env = |n: &str| {
             VAR_NAMES
                 .iter()
                 .position(|v| *v == n)
-                .map(|i| Interval::point(env[i]))
+                .map(|i| Interval::point(e[i]))
         };
         if let Some(iv) = built.interval(&point_env) {
-            prop_assert!(
+            assert!(
                 iv.lo <= value && value <= iv.hi,
-                "{} = {} outside [{}, {}]", built, value, iv.lo, iv.hi
+                "{built} = {value} outside [{}, {}]",
+                iv.lo,
+                iv.hi
             );
         }
     }
+}
 
-    /// Addition is commutative & associative at the structural level.
-    #[test]
-    fn sum_structural_laws(a in raw_expr(), b in raw_expr(), c in raw_expr()) {
-        let (a, b, c) = (a.build(), b.build(), c.build());
-        prop_assert_eq!(a.clone() + b.clone(), b.clone() + a.clone());
-        prop_assert_eq!((a.clone() + b.clone()) + c.clone(), a + (b + c));
+/// Addition is commutative & associative at the structural level.
+#[test]
+fn sum_structural_laws() {
+    let mut rng = Rng::new(0xe5);
+    for _ in 0..CASES {
+        let a = raw_expr(&mut rng, 3).build();
+        let b = raw_expr(&mut rng, 3).build();
+        let c = raw_expr(&mut rng, 3).build();
+        assert_eq!(a.clone() + b.clone(), b.clone() + a.clone());
+        assert_eq!((a.clone() + b.clone()) + c.clone(), a + (b + c));
     }
+}
 
-    /// Multiplication is commutative at the structural level.
-    #[test]
-    fn prod_structural_laws(a in raw_expr(), b in raw_expr()) {
-        let (a, b) = (a.build(), b.build());
-        prop_assert_eq!(a.clone() * b.clone(), b * a);
+/// Multiplication is commutative at the structural level.
+#[test]
+fn prod_structural_laws() {
+    let mut rng = Rng::new(0xf6);
+    for _ in 0..CASES {
+        let a = raw_expr(&mut rng, 3).build();
+        let b = raw_expr(&mut rng, 3).build();
+        assert_eq!(a.clone() * b.clone(), b * a);
     }
 }

@@ -2,6 +2,11 @@
 //! device, §7.2) — `cargo bench --bench ablation`.
 
 fn main() {
-    let rows = lift_harness::ablation(&["Jacobi2D5pt", "Gaussian", "Jacobi3D7pt", "Heat"]);
-    print!("{}", lift_harness::report::render_ablation(&rows));
+    match lift_harness::ablation(&["Jacobi2D5pt", "Gaussian", "Jacobi3D7pt", "Heat"]) {
+        Ok(rows) => print!("{}", lift_harness::report::render_ablation(&rows)),
+        Err(e) => {
+            eprintln!("ablation failed: {e}");
+            std::process::exit(1);
+        }
+    }
 }

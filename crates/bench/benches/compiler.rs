@@ -1,50 +1,63 @@
-//! Criterion microbenchmarks of the compilation pipeline itself: how fast
-//! are type checking, the tiling rewrite, variant enumeration and OpenCL
-//! code generation? (The paper's pipeline runs thousands of these during
-//! exploration, so compiler throughput matters.)
+//! Microbenchmarks of the compilation pipeline itself: how fast are type
+//! checking, variant enumeration and OpenCL code generation? (The pipeline
+//! runs thousands of these during exploration, so compiler throughput
+//! matters.) Plain std timing — no external benchmark framework is
+//! available in this environment.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use std::time::Instant;
 
 use lift_codegen::compile_kernel;
 use lift_core::typecheck::typecheck_fun;
 use lift_rewrite::enumerate_variants;
 use lift_stencils::by_name;
 
-fn bench_typecheck(c: &mut Criterion) {
+/// Runs `f` repeatedly for roughly a fixed wall budget and reports the
+/// best-of-batch mean, criterion-style but tiny.
+fn bench<T>(name: &str, mut f: impl FnMut() -> T) {
+    // Warm up and estimate a batch size targeting ~20ms per batch.
+    let t0 = Instant::now();
+    black_box(f());
+    let once = t0.elapsed().as_secs_f64().max(1e-9);
+    let batch = ((0.02 / once) as usize).clamp(1, 10_000);
+    let mut best = f64::INFINITY;
+    for _ in 0..5 {
+        let t = Instant::now();
+        for _ in 0..batch {
+            black_box(f());
+        }
+        best = best.min(t.elapsed().as_secs_f64() / batch as f64);
+    }
+    println!("{name:<34} {:>12.3} us/iter", best * 1e6);
+}
+
+fn main() {
     let prog = by_name("Jacobi2D5pt").program(&[128, 128]);
-    c.bench_function("typecheck_jacobi2d", |b| {
-        b.iter(|| typecheck_fun(black_box(&prog)).expect("typechecks"))
+    bench("typecheck_jacobi2d", || {
+        typecheck_fun(black_box(&prog)).expect("typechecks")
     });
     let prog3 = by_name("Acoustic").program(&[16, 16, 16]);
-    c.bench_function("typecheck_acoustic", |b| {
-        b.iter(|| typecheck_fun(black_box(&prog3)).expect("typechecks"))
+    bench("typecheck_acoustic", || {
+        typecheck_fun(black_box(&prog3)).expect("typechecks")
     });
-}
 
-fn bench_rewriting(c: &mut Criterion) {
-    let prog = by_name("Jacobi2D5pt").program(&[128, 128]);
-    c.bench_function("enumerate_variants_jacobi2d", |b| {
-        b.iter(|| enumerate_variants(black_box(&prog)))
+    bench("enumerate_variants_jacobi2d", || {
+        enumerate_variants(black_box(&prog))
     });
-}
 
-fn bench_codegen(c: &mut Criterion) {
-    let prog = by_name("Jacobi2D5pt").program(&[128, 128]);
     let variants = enumerate_variants(&prog);
-    let global = variants.iter().find(|v| v.name == "global").expect("exists");
-    c.bench_function("codegen_jacobi2d_global", |b| {
-        b.iter(|| compile_kernel("k", black_box(&global.program)).expect("compiles"))
+    let global = variants
+        .iter()
+        .find(|v| v.name == "global")
+        .expect("exists");
+    bench("codegen_jacobi2d_global", || {
+        compile_kernel("k", black_box(&global.program)).expect("compiles")
     });
-    let tiled = variants.iter().find(|v| v.name == "tiled-local");
-    if let Some(tiled) = tiled {
+    if let Some(tiled) = variants.iter().find(|v| v.name == "tiled-local") {
         let bound =
             lift_rewrite::strategy::bind_tunables(tiled, &[("TS".into(), 10)]).expect("valid");
-        c.bench_function("codegen_jacobi2d_tiled_local", |b| {
-            b.iter(|| compile_kernel("k", black_box(&bound)).expect("compiles"))
+        bench("codegen_jacobi2d_tiled_local", || {
+            compile_kernel("k", black_box(&bound)).expect("compiles")
         });
     }
 }
-
-criterion_group!(benches, bench_typecheck, bench_rewriting, bench_codegen);
-criterion_main!(benches);

@@ -2,6 +2,11 @@
 //! GPUs) — `cargo bench --bench fig7`.
 
 fn main() {
-    let rows = lift_harness::fig7();
-    print!("{}", lift_harness::report::render_fig7(&rows));
+    match lift_harness::fig7() {
+        Ok(rows) => print!("{}", lift_harness::report::render_fig7(&rows)),
+        Err(e) => {
+            eprintln!("fig7 failed: {e}");
+            std::process::exit(1);
+        }
+    }
 }

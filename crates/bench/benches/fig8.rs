@@ -3,6 +3,11 @@
 //! `cargo bench --bench fig8`.
 
 fn main() {
-    let rows = lift_harness::fig8();
-    print!("{}", lift_harness::report::render_fig8(&rows));
+    match lift_harness::fig8() {
+        Ok(rows) => print!("{}", lift_harness::report::render_fig8(&rows)),
+        Err(e) => {
+            eprintln!("fig8 failed: {e}");
+            std::process::exit(1);
+        }
+    }
 }

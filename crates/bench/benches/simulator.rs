@@ -1,40 +1,46 @@
-//! Criterion microbenchmarks of the virtual OpenCL device: wall-clock cost
-//! of interpreting one kernel launch (this bounds how many tuner
-//! evaluations per second the harness can afford).
+//! Microbenchmark of the virtual OpenCL device: wall-clock cost of
+//! interpreting one kernel launch (this bounds how many tuner evaluations
+//! per second the harness can afford). Plain std timing — no external
+//! benchmark framework is available in this environment.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
+use std::time::Instant;
 
-use lift_codegen::compile_kernel;
-use lift_oclsim::{BufferData, DeviceProfile, LaunchConfig, VirtualDevice};
-use lift_rewrite::enumerate_variants;
+use lift_driver::Pipeline;
+use lift_oclsim::{BufferData, DeviceProfile, VirtualDevice};
 use lift_stencils::by_name;
 
-fn bench_simulator(c: &mut Criterion) {
+fn main() {
     let bench = by_name("Jacobi2D5pt");
     let sizes = [64usize, 64];
-    let prog = bench.program(&sizes);
-    let variants = enumerate_variants(&prog);
-    let global = variants.iter().find(|v| v.name == "global").expect("exists");
-    let kernel = compile_kernel("jacobi2d", &global.program).expect("compiles");
+    let dev = VirtualDevice::new(DeviceProfile::k20c());
+    let compiled = Pipeline::from_benchmark(&bench, &sizes)
+        .expect("pipeline")
+        .explore()
+        .expect("explores")
+        .on(&dev)
+        .with_config("global", &[("lx", 16), ("ly", 8)])
+        .expect("compiles");
     let inputs: Vec<BufferData> = bench
         .gen_inputs(&sizes, 1)
         .into_iter()
         .map(BufferData::F32)
         .collect();
-    let dev = VirtualDevice::new(DeviceProfile::k20c());
-    let launch = LaunchConfig::d2(64, 64, 16, 8);
 
-    let mut g = c.benchmark_group("virtual_device");
-    g.throughput(Throughput::Elements((sizes[0] * sizes[1]) as u64));
-    g.bench_function("jacobi2d_64x64_k20c", |b| {
-        b.iter(|| {
-            dev.run(black_box(&kernel), black_box(&inputs), launch)
-                .expect("runs")
-        })
-    });
-    g.finish();
+    // Warm up, then time a few batches and keep the best mean.
+    black_box(compiled.run(&inputs).expect("runs"));
+    let mut best = f64::INFINITY;
+    for _ in 0..5 {
+        let t = Instant::now();
+        for _ in 0..10 {
+            black_box(compiled.run(black_box(&inputs)).expect("runs"));
+        }
+        best = best.min(t.elapsed().as_secs_f64() / 10.0);
+    }
+    let elems = (sizes[0] * sizes[1]) as f64;
+    println!(
+        "virtual_device/jacobi2d_64x64_k20c  {:>10.3} ms/launch  ({:.2} Melem/s interpreted)",
+        best * 1e3,
+        elems / best / 1e6
+    );
 }
-
-criterion_group!(benches, bench_simulator);
-criterion_main!(benches);

@@ -233,7 +233,7 @@ pub enum CExpr {
 }
 
 #[allow(clippy::should_implement_trait)] // constructors fold constants; static
-// methods keep call sites explicit (`CExpr::add(a, b)`), unlike `std::ops`.
+                                         // methods keep call sites explicit (`CExpr::add(a, b)`), unlike `std::ops`.
 impl CExpr {
     /// `a + b`.
     pub fn add(a: CExpr, b: CExpr) -> CExpr {

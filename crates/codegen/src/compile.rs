@@ -90,10 +90,7 @@ fn subst_type(t: &Type, map: &SizeMap) -> Type {
     match t {
         Type::Scalar(_) => t.clone(),
         Type::Tuple(ts) => Type::Tuple(ts.iter().map(|x| subst_type(x, map)).collect()),
-        Type::Array(elem, n) => Type::Array(
-            Box::new(subst_type(elem, map)),
-            n.substitute_all(map),
-        ),
+        Type::Array(elem, n) => Type::Array(Box::new(subst_type(elem, map)), n.substitute_all(map)),
     }
 }
 
@@ -126,7 +123,11 @@ fn subst_expr(e: &Expr, map: &SizeMap, pmap: &mut HashMap<u32, ParamRef>) -> Exp
         Expr::Literal(_) => e.clone(),
         Expr::Apply(app) => {
             let fun = subst_fun(&app.fun, map, pmap);
-            let args = app.args.iter().map(|a| subst_expr(a, map, pmap)).collect::<Vec<_>>();
+            let args = app
+                .args
+                .iter()
+                .map(|a| subst_expr(a, map, pmap))
+                .collect::<Vec<_>>();
             Expr::apply(fun, args)
         }
     }
@@ -206,7 +207,11 @@ struct Cg {
 
 fn size_usize(n: &ArithExpr) -> Result<usize, CodegenError> {
     n.eval(&Bindings::new())
-        .map_err(|_| CodegenError::new(format!("size `{n}` is not concrete; substitute sizes first")))
+        .map_err(|_| {
+            CodegenError::new(format!(
+                "size `{n}` is not concrete; substitute sizes first"
+            ))
+        })
         .and_then(|v| {
             if v < 0 {
                 bail!("size `{n}` evaluated to negative {v}")
@@ -336,21 +341,21 @@ fn compile_out(
                     let arg_ty = typecheck(&app.args[0])?;
                     if *kind == MapKind::Par {
                         if let Some(elem_ty) = arg_ty.as_array().map(|(el, _)| el.clone()) {
-                        if let Some((steps, _)) = try_layout_steps(f, &elem_ty)? {
-                            // Verify writability up-front for a clear error.
-                            apply_steps_write(
-                                &steps,
-                                View::Fixed {
-                                    index: CExpr::Int(0),
+                            if let Some((steps, _)) = try_layout_steps(f, &elem_ty)? {
+                                // Verify writability up-front for a clear error.
+                                apply_steps_write(
+                                    &steps,
+                                    View::Fixed {
+                                        index: CExpr::Int(0),
+                                        base: Box::new(out.clone()),
+                                    },
+                                )?;
+                                let out2 = View::MapStepsW {
+                                    steps: std::sync::Arc::new(steps),
                                     base: Box::new(out.clone()),
-                                },
-                            )?;
-                            let out2 = View::MapStepsW {
-                                steps: std::sync::Arc::new(steps),
-                                base: Box::new(out.clone()),
-                            };
-                            return compile_out(cg, &app.args[0], &out2, stmts);
-                        }
+                                };
+                                return compile_out(cg, &app.args[0], &out2, stmts);
+                            }
                         }
                     }
                     return compile_map(cg, *kind, f, &app.args[0], &ty, out, stmts);
@@ -451,9 +456,7 @@ fn materialise_copy(
 fn loop_range(kind: MapKind, n: usize) -> (CExpr, CExpr, CExpr) {
     let bound = CExpr::Int(n as i64);
     match kind {
-        MapKind::Seq | MapKind::SeqUnroll | MapKind::Par => {
-            (CExpr::Int(0), bound, CExpr::Int(1))
-        }
+        MapKind::Seq | MapKind::SeqUnroll | MapKind::Par => (CExpr::Int(0), bound, CExpr::Int(1)),
         MapKind::Glb(d) => (
             CExpr::WorkItem(WorkItemFn::GlobalId, d),
             bound,
@@ -499,10 +502,7 @@ fn compile_map(
         .map(|(el, _)| el.clone())
         .ok_or_else(|| CodegenError::new("map input must be an array"))?;
 
-    let emit_body = |cg: &mut Cg,
-                     idx: CExpr,
-                     stmts: &mut Vec<CStmt>|
-     -> Result<(), CodegenError> {
+    let emit_body = |cg: &mut Cg, idx: CExpr, stmts: &mut Vec<CStmt>| -> Result<(), CodegenError> {
         let elem_view = View::Fixed {
             index: idx.clone(),
             base: Box::new(arr_view.clone()),
@@ -618,11 +618,7 @@ fn compile_val(cg: &mut Cg, e: &Expr, stmts: &mut Vec<CStmt>) -> Result<Val, Cod
     }
 }
 
-fn view_of(
-    cg: &mut Cg,
-    e: &Expr,
-    stmts: &mut Vec<CStmt>,
-) -> Result<(View, Type), CodegenError> {
+fn view_of(cg: &mut Cg, e: &Expr, stmts: &mut Vec<CStmt>) -> Result<(View, Type), CodegenError> {
     match compile_val(cg, e, stmts)? {
         Val::View { view, ty } => Ok((view, ty)),
         Val::Scalar(_) => bail!("expected an array value"),
@@ -922,12 +918,7 @@ fn layout_steps_of_expr(
         }
         // zip(e1, …, ek): every branch must itself be a layout chain over
         // the same parameter (usually starting with a `get`).
-        Expr::Apply(app)
-            if matches!(
-                app.fun.as_pattern(),
-                Some(Pattern::Zip { .. })
-            ) =>
-        {
+        Expr::Apply(app) if matches!(app.fun.as_pattern(), Some(Pattern::Zip { .. })) => {
             let mut branches = Vec::with_capacity(app.args.len());
             let mut out_elems = Vec::with_capacity(app.args.len());
             let mut len: Option<ArithExpr> = None;
@@ -951,10 +942,7 @@ fn layout_steps_of_expr(
                     None => return Ok(None),
                 }
             }
-            let out_ty = Type::array(
-                Type::Tuple(out_elems),
-                len.expect("zip arity >= 2"),
-            );
+            let out_ty = Type::array(Type::Tuple(out_elems), len.expect("zip arity >= 2"));
             Ok(Some((vec![LayoutStep::ZipN(branches)], out_ty)))
         }
         _ => Ok(None),
@@ -1032,10 +1020,7 @@ fn compile_reduce(
         .ok_or_else(|| CodegenError::new("reduce input must be an array"))?;
     let n = size_usize(&n)?;
 
-    let emit_step = |cg: &mut Cg,
-                         idx: CExpr,
-                         stmts: &mut Vec<CStmt>|
-     -> Result<(), CodegenError> {
+    let emit_step = |cg: &mut Cg, idx: CExpr, stmts: &mut Vec<CStmt>| -> Result<(), CodegenError> {
         let elem_view = View::Fixed {
             index: idx,
             base: Box::new(arr_view.clone()),
@@ -1083,11 +1068,7 @@ fn compile_reduce(
     Ok(Val::Scalar(CExpr::Var(acc)))
 }
 
-fn compile_scalar(
-    cg: &mut Cg,
-    e: &Expr,
-    stmts: &mut Vec<CStmt>,
-) -> Result<CExpr, CodegenError> {
+fn compile_scalar(cg: &mut Cg, e: &Expr, stmts: &mut Vec<CStmt>) -> Result<CExpr, CodegenError> {
     match compile_val(cg, e, stmts)? {
         Val::Scalar(c) => Ok(c),
         Val::View { view, ty } => {
@@ -1134,7 +1115,11 @@ fn collect_user_funs(stmts: &[CStmt], out: &mut Vec<std::sync::Arc<lift_core::us
                 from_expr(value, out);
             }
             CStmt::For {
-                init, bound, step, body, ..
+                init,
+                bound,
+                step,
+                body,
+                ..
             } => {
                 from_expr(init, out);
                 from_expr(bound, out);
@@ -1193,9 +1178,16 @@ mod tests {
     fn par_layout_map_compiles_as_view() {
         // map(transpose) stays lazy: no loops beyond the copy of the result.
         let f = lam_named("A", Type::array_2d(Type::f32(), 4, 8), |a| {
-            map_glb(0, lam(Type::array(Type::f32(), 4), |row| {
-                map_seq(lam(Type::f32(), |x| call(&add_f32(), [x, Expr::f32(0.0)])), row)
-            }), transpose(a))
+            map_glb(
+                0,
+                lam(Type::array(Type::f32(), 4), |row| {
+                    map_seq(
+                        lam(Type::f32(), |x| call(&add_f32(), [x, Expr::f32(0.0)])),
+                        row,
+                    )
+                }),
+                transpose(a),
+            )
         });
         let k = compile_kernel("k", &f).expect("compiles");
         assert!(k.locals.is_empty());
@@ -1234,7 +1226,11 @@ mod tests {
                 });
                 map_lcl(0, sum, slide(3, 1, copied))
             });
-            join(map_wrg(0, per_tile, slide(6, 4, pad(1, 1, Boundary::Clamp, a))))
+            join(map_wrg(
+                0,
+                per_tile,
+                slide(6, 4, pad(1, 1, Boundary::Clamp, a)),
+            ))
         });
         fn fun_map_lcl_id() -> FunDecl {
             FunDecl::pattern(lift_core::pattern::Pattern::Map {
@@ -1252,9 +1248,7 @@ mod tests {
                 .map(|s| match s {
                     CStmt::Barrier { .. } => 1,
                     CStmt::For { body, .. } => count_barriers(body),
-                    CStmt::If { then_, else_, .. } => {
-                        count_barriers(then_) + count_barriers(else_)
-                    }
+                    CStmt::If { then_, else_, .. } => count_barriers(then_) + count_barriers(else_),
                     _ => 0,
                 })
                 .sum()
@@ -1272,9 +1266,7 @@ mod tests {
             Type::array(Type::f32(), n),
             |a, b| {
                 let tup = Type::Tuple(vec![Type::f32(), Type::f32()]);
-                let f = lam(tup, |t| {
-                    call(&add_f32(), [get(0, t.clone()), get(1, t)])
-                });
+                let f = lam(tup, |t| call(&add_f32(), [get(0, t.clone()), get(1, t)]));
                 map_glb(0, f, zip2(a, b))
             },
         );

@@ -160,7 +160,7 @@ pub fn expr_str(e: &CExpr) -> String {
 
 #[cfg(test)]
 mod tests {
-    
+
     use crate::compile::compile_kernel;
     use lift_core::prelude::*;
 

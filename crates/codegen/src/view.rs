@@ -221,10 +221,7 @@ pub fn apply_steps(steps: &[LayoutStep], v: View) -> View {
                 base: Box::new(v),
             },
             LayoutStep::ZipN(branches) => View::Zip {
-                components: branches
-                    .iter()
-                    .map(|b| apply_steps(b, v.clone()))
-                    .collect(),
+                components: branches.iter().map(|b| apply_steps(b, v.clone())).collect(),
             },
         };
     }
@@ -284,10 +281,7 @@ impl std::error::Error for ViewError {}
 fn reindex(boundary: Boundary, i: CExpr, left: usize, n: usize) -> CExpr {
     let shifted = CExpr::sub(i, CExpr::Int(left as i64));
     match boundary {
-        Boundary::Clamp => CExpr::min(
-            CExpr::max(shifted, CExpr::Int(0)),
-            CExpr::Int(n as i64 - 1),
-        ),
+        Boundary::Clamp => CExpr::min(CExpr::max(shifted, CExpr::Int(0)), CExpr::Int(n as i64 - 1)),
         Boundary::Mirror => {
             // m = (i-l) mod 2n; m < n ? m : 2n-1-m   (see Boundary::reindex)
             let two_n = CExpr::Int(2 * n as i64);
@@ -436,10 +430,7 @@ impl View {
             View::Join { inner, base } => {
                 let (i, rest) = split_first(idxs)?;
                 let m = CExpr::Int(*inner as i64);
-                let mut all = vec![
-                    CExpr::div(i.clone(), m.clone()),
-                    CExpr::rem(i.clone(), m),
-                ];
+                let mut all = vec![CExpr::div(i.clone(), m.clone()), CExpr::rem(i.clone(), m)];
                 all.extend_from_slice(rest);
                 base.read_inner(component, &all)
             }
@@ -454,7 +445,10 @@ impl View {
                     ViewError("zip element read without a tuple component (missing get)".into())
                 })?;
                 let v = components.get(c).ok_or_else(|| {
-                    ViewError(format!("get({c}) out of bounds for zip of {} views", components.len()))
+                    ViewError(format!(
+                        "get({c}) out of bounds for zip of {} views",
+                        components.len()
+                    ))
                 })?;
                 v.read_inner(None, idxs)
             }
@@ -475,9 +469,7 @@ impl View {
                 );
                 sub.read_inner(component, rest)
             }
-            View::MapStepsW { .. } => Err(ViewError(
-                "write-side layout map cannot be read".into(),
-            )),
+            View::MapStepsW { .. } => Err(ViewError("write-side layout map cannot be read".into())),
         }
     }
 
@@ -522,10 +514,7 @@ impl View {
             View::Join { inner, base } => {
                 let (i, rest) = split_first(indices)?;
                 let m = CExpr::Int(*inner as i64);
-                let mut all = vec![
-                    CExpr::div(i.clone(), m.clone()),
-                    CExpr::rem(i.clone(), m),
-                ];
+                let mut all = vec![CExpr::div(i.clone(), m.clone()), CExpr::rem(i.clone(), m)];
                 all.extend_from_slice(rest);
                 base.write(&all, value)
             }

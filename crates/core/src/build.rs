@@ -75,10 +75,7 @@ pub fn fun(f: impl Into<FunDecl>) -> FunDecl {
 
 fn map_kind(kind: MapKind, f: impl Into<FunDecl>, input: Expr) -> Expr {
     Expr::apply(
-        FunDecl::pattern(Pattern::Map {
-            kind,
-            f: f.into(),
-        }),
+        FunDecl::pattern(Pattern::Map { kind, f: f.into() }),
         [input],
     )
 }
@@ -337,19 +334,14 @@ mod tests {
 
     #[test]
     fn at_nested_accesses() {
-        let a = Expr::Param(Param::fresh(
-            "A",
-            Type::array_3d(Type::f32(), 3, 3, 3),
-        ));
+        let a = Expr::Param(Param::fresh("A", Type::array_3d(Type::f32(), 3, 3, 3)));
         let e = at3(1, 1, 1, a);
         assert_eq!(typecheck(&e).unwrap(), Type::f32());
     }
 
     #[test]
     fn lam2_binds_two_params() {
-        let f = lam2(Type::f32(), Type::f32(), |a, b| {
-            call(&add_f32(), [a, b])
-        });
+        let f = lam2(Type::f32(), Type::f32(), |a, b| call(&add_f32(), [a, b]));
         let l = f.as_lambda().expect("lambda");
         assert_eq!(l.params.len(), 2);
     }

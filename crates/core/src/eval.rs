@@ -36,7 +36,11 @@ pub enum DataValue {
 impl DataValue {
     /// Builds a 1D float array.
     pub fn from_f32s(v: impl IntoIterator<Item = f32>) -> DataValue {
-        DataValue::Array(v.into_iter().map(|x| DataValue::Scalar(Scalar::F32(x))).collect())
+        DataValue::Array(
+            v.into_iter()
+                .map(|x| DataValue::Scalar(Scalar::F32(x)))
+                .collect(),
+        )
     }
 
     /// Builds a row-major 2D float array.
@@ -191,7 +195,10 @@ fn apply_pattern(p: &Pattern, args: &[DataValue], env: &mut Env) -> Result<DataV
             Ok(DataValue::Array(out))
         }
         Pattern::Reduce { f, kind } => {
-            let _ = matches!(kind, ReduceKind::Par | ReduceKind::Seq | ReduceKind::SeqUnroll);
+            let _ = matches!(
+                kind,
+                ReduceKind::Par | ReduceKind::Seq | ReduceKind::SeqUnroll
+            );
             let mut acc = args[0].clone();
             for x in args[1].as_array()? {
                 acc = apply(f, &[acc, x.clone()], env)?;
@@ -223,9 +230,7 @@ fn apply_pattern(p: &Pattern, args: &[DataValue], env: &mut Env) -> Result<DataV
                 )));
             }
             Ok(DataValue::Array(
-                xs.chunks(m)
-                    .map(|c| DataValue::Array(c.to_vec()))
-                    .collect(),
+                xs.chunks(m).map(|c| DataValue::Array(c.to_vec())).collect(),
             ))
         }
         Pattern::Join => {
@@ -252,7 +257,9 @@ fn apply_pattern(p: &Pattern, args: &[DataValue], env: &mut Env) -> Result<DataV
                     out[j].push(v.clone());
                 }
             }
-            Ok(DataValue::Array(out.into_iter().map(DataValue::Array).collect()))
+            Ok(DataValue::Array(
+                out.into_iter().map(DataValue::Array).collect(),
+            ))
         }
         Pattern::Slide { size, step } => {
             let xs = args[0].as_array()?;
@@ -290,7 +297,10 @@ fn apply_pattern(p: &Pattern, args: &[DataValue], env: &mut Env) -> Result<DataV
         Pattern::PadValue { left, right, value } => {
             let xs = args[0].as_array()?;
             let (l, r) = (cst(left)? as usize, cst(right)? as usize);
-            let filler = fill_like(&xs.first().cloned().unwrap_or(DataValue::Scalar(*value)), *value);
+            let filler = fill_like(
+                &xs.first().cloned().unwrap_or(DataValue::Scalar(*value)),
+                *value,
+            );
             let mut out = Vec::with_capacity(l + xs.len() + r);
             out.extend(std::iter::repeat_n(filler.clone(), l));
             out.extend(xs.iter().cloned());
@@ -333,12 +343,8 @@ fn apply_pattern(p: &Pattern, args: &[DataValue], env: &mut Env) -> Result<DataV
 fn fill_like(template: &DataValue, value: Scalar) -> DataValue {
     match template {
         DataValue::Scalar(_) => DataValue::Scalar(value),
-        DataValue::Array(v) => {
-            DataValue::Array(v.iter().map(|x| fill_like(x, value)).collect())
-        }
-        DataValue::Tuple(v) => {
-            DataValue::Tuple(v.iter().map(|x| fill_like(x, value)).collect())
-        }
+        DataValue::Array(v) => DataValue::Array(v.iter().map(|x| fill_like(x, value)).collect()),
+        DataValue::Tuple(v) => DataValue::Tuple(v.iter().map(|x| fill_like(x, value)).collect()),
     }
 }
 
@@ -432,11 +438,7 @@ mod tests {
         // neighbourhoods [[a,b],[d,e]], [[b,c],[e,f]], [[d,e],[g,h]],
         // [[e,f],[h,i]].
         let prog = lam(Type::array_2d(Type::f32(), 3, 3), |g| slide2(2, 1, g));
-        let input = DataValue::from_f32s_2d(
-            &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0],
-            3,
-            3,
-        );
+        let input = DataValue::from_f32s_2d(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0], 3, 3);
         let out = eval_fun(&prog, &[input]).unwrap();
         assert_eq!(
             out.flatten_f32(),
@@ -474,10 +476,7 @@ mod tests {
     #[test]
     fn iterate_applies_repeatedly() {
         let double = lam(Type::array(Type::f32(), 2), |a| {
-            map(
-                lam(Type::f32(), |x| call(&add_f32(), [x.clone(), x])),
-                a,
-            )
+            map(lam(Type::f32(), |x| call(&add_f32(), [x.clone(), x])), a)
         });
         let prog = lam(Type::array(Type::f32(), 2), |a| iterate(3, double, a));
         let input = DataValue::from_f32s([1.0, 2.0]);

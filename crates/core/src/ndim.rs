@@ -49,10 +49,7 @@ pub fn map_at_depth(depth: usize, f: FunDecl, input: Expr) -> Expr {
         return Expr::apply(f, [input]);
     }
     let elem = elem_type(&input);
-    map(
-        lam(elem, |x| map_at_depth(depth - 1, f, x)),
-        input,
-    )
+    map(lam(elem, |x| map_at_depth(depth - 1, f, x)), input)
 }
 
 /// `map2(f) = map(map(f))` — maps `f` over the elements of a 2D array.
@@ -61,10 +58,14 @@ pub fn map_at_depth(depth: usize, f: FunDecl, input: Expr) -> Expr {
 ///
 /// Panics if `input` is not (at least) a 2D array.
 pub fn map2(f: impl Into<FunDecl>, input: Expr) -> Expr {
-    map_at_depth(1, FunDecl::pattern(Pattern::Map {
-        kind: crate::pattern::MapKind::Par,
-        f: f.into(),
-    }), input)
+    map_at_depth(
+        1,
+        FunDecl::pattern(Pattern::Map {
+            kind: crate::pattern::MapKind::Par,
+            f: f.into(),
+        }),
+        input,
+    )
 }
 
 /// `map3(f) = map(map(map(f)))`.
@@ -340,11 +341,7 @@ mod tests {
         Expr::Param(Param::fresh("G", Type::array_2d(Type::f32(), n, m)))
     }
 
-    fn grid3(
-        o: impl Into<ArithExpr>,
-        n: impl Into<ArithExpr>,
-        m: impl Into<ArithExpr>,
-    ) -> Expr {
+    fn grid3(o: impl Into<ArithExpr>, n: impl Into<ArithExpr>, m: impl Into<ArithExpr>) -> Expr {
         Expr::Param(Param::fresh("G", Type::array_3d(Type::f32(), o, n, m)))
     }
 
@@ -366,10 +363,7 @@ mod tests {
     fn pad2_grows_both_dims() {
         let e = pad2(1, 1, Boundary::Clamp, grid2(var("N"), var("M")));
         let ty = typecheck(&e).unwrap();
-        assert_eq!(
-            ty,
-            Type::array_2d(Type::f32(), var("N") + 2, var("M") + 2)
-        );
+        assert_eq!(ty, Type::array_2d(Type::f32(), var("N") + 2, var("M") + 2));
     }
 
     #[test]
@@ -387,10 +381,7 @@ mod tests {
         // slide2(2, 1) on a 3×3 grid: 2×2 grid of 2×2 neighbourhoods.
         let e = slide2(2, 1, grid2(3, 3));
         let ty = typecheck(&e).unwrap();
-        let expected = Type::array(
-            Type::array(Type::array_2d(Type::f32(), 2, 2), 2),
-            2,
-        );
+        let expected = Type::array(Type::array(Type::array_2d(Type::f32(), 2, 2), 2), 2);
         assert_eq!(ty, expected);
     }
 

@@ -142,7 +142,10 @@ fn apply_pattern(p: &Pattern, args: &[Type]) -> Result<Type, TypeError> {
         }
         Pattern::Reduce { f, .. } => {
             if args.len() != 2 {
-                bail!("`reduce` expects (init, array), got {} arguments", args.len());
+                bail!(
+                    "`reduce` expects (init, array), got {} arguments",
+                    args.len()
+                );
             }
             let init = &args[0];
             let (elem, _) = args[1].as_array().ok_or_else(|| {
@@ -150,9 +153,7 @@ fn apply_pattern(p: &Pattern, args: &[Type]) -> Result<Type, TypeError> {
             })?;
             let out = apply_fun(f, &[init.clone(), elem.clone()])?;
             if &out != init {
-                bail!(
-                    "`reduce` operator must return the accumulator type {init}, returned {out}"
-                );
+                bail!("`reduce` operator must return the accumulator type {init}, returned {out}");
             }
             Ok(init.clone())
         }
@@ -178,10 +179,7 @@ fn apply_pattern(p: &Pattern, args: &[Type]) -> Result<Type, TypeError> {
         Pattern::Split { chunk } => {
             let (elem, n) = one_array(p, args)?;
             let outer = ArithExpr::div(n.clone(), chunk.clone());
-            Ok(Type::array(
-                Type::array(elem.clone(), chunk.clone()),
-                outer,
-            ))
+            Ok(Type::array(Type::array(elem.clone(), chunk.clone()), outer))
         }
         Pattern::Join => {
             let (elem, n) = one_array(p, args)?;
@@ -220,9 +218,7 @@ fn apply_pattern(p: &Pattern, args: &[Type]) -> Result<Type, TypeError> {
             let (elem, n) = one_array(p, args)?;
             match elem.leaf_scalar() {
                 Some(k) if k == value.kind() => {}
-                _ => bail!(
-                    "`padValue` constant {value} does not match element type {elem}"
-                ),
+                _ => bail!("`padValue` constant {value} does not match element type {elem}"),
             }
             Ok(Type::array(
                 elem.clone(),
@@ -237,9 +233,9 @@ fn apply_pattern(p: &Pattern, args: &[Type]) -> Result<Type, TypeError> {
             if args.len() != 1 {
                 bail!("`get` expects 1 argument, got {}", args.len());
             }
-            let comps = args[0].as_tuple().ok_or_else(|| {
-                TypeError::new(format!("`get` expects a tuple, got {}", args[0]))
-            })?;
+            let comps = args[0]
+                .as_tuple()
+                .ok_or_else(|| TypeError::new(format!("`get` expects a tuple, got {}", args[0])))?;
             comps.get(*index).cloned().ok_or_else(|| {
                 TypeError::new(format!(
                     "`get({index})` out of bounds for tuple of {} components",
@@ -336,10 +332,7 @@ mod tests {
         let p = Param::fresh("A", arr_f32(n()));
         let e = slide(3, 1, pad(1, 1, Boundary::Clamp, Expr::Param(p)));
         // (N+2 − 3 + 1)/1 = N neighbourhoods of size 3.
-        assert_eq!(
-            typecheck(&e).unwrap(),
-            Type::array(arr_f32(3), n())
-        );
+        assert_eq!(typecheck(&e).unwrap(), Type::array(arr_f32(3), n()));
     }
 
     #[test]
@@ -363,10 +356,7 @@ mod tests {
     fn transpose_swaps_dims() {
         let p = Param::fresh("A", Type::array_2d(Type::f32(), n(), 4));
         let e = transpose(Expr::Param(p));
-        assert_eq!(
-            typecheck(&e).unwrap(),
-            Type::array_2d(Type::f32(), 4, n())
-        );
+        assert_eq!(typecheck(&e).unwrap(), Type::array_2d(Type::f32(), 4, n()));
     }
 
     #[test]
@@ -441,10 +431,7 @@ mod tests {
         assert_eq!(direct_ty.shape()[0], ArithExpr::from(16));
 
         let tiles = slide(6, 4, Expr::Param(a));
-        let nested = map(
-            lam(arr_f32(6), |tile| slide(3, 1, tile)),
-            tiles,
-        );
+        let nested = map(lam(arr_f32(6), |tile| slide(3, 1, tile)), tiles);
         let joined = join(nested);
         let ty = typecheck(&joined).unwrap();
         assert_eq!(ty.shape()[0], ArithExpr::from(16));

@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use lift_arith::{ArithExpr, ArithEnv, EvalArithError};
+use lift_arith::{ArithEnv, ArithExpr, EvalArithError};
 
 use crate::scalar::ScalarKind;
 

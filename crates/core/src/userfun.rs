@@ -57,10 +57,7 @@ impl UserFun {
     ) -> Arc<UserFun> {
         Arc::new(UserFun {
             name: name.into(),
-            params: params
-                .into_iter()
-                .map(|(n, t)| (n.into(), t))
-                .collect(),
+            params: params.into_iter().map(|(n, t)| (n.into(), t)).collect(),
             ret,
             c_body: c_body.into(),
             eval: Arc::new(eval),

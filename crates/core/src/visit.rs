@@ -39,8 +39,9 @@ pub fn rewrite_first(e: &Expr, rule: LocalRewrite) -> Option<Expr> {
 
 fn rewrite_first_fun(f: &FunDecl, rule: LocalRewrite) -> Option<FunDecl> {
     match f {
-        FunDecl::Lambda(l) => rewrite_first(&l.body, rule)
-            .map(|body| FunDecl::lambda(l.params.clone(), body)),
+        FunDecl::Lambda(l) => {
+            rewrite_first(&l.body, rule).map(|body| FunDecl::lambda(l.params.clone(), body))
+        }
         FunDecl::UserFun(_) => None,
         FunDecl::Pattern(p) => rewrite_first_pattern(p, rule).map(FunDecl::pattern),
     }
@@ -76,9 +77,7 @@ pub fn rewrite_everywhere(e: &Expr, rule: LocalRewrite) -> Expr {
 
 fn rewrite_everywhere_fun(f: &FunDecl, rule: LocalRewrite) -> FunDecl {
     match f {
-        FunDecl::Lambda(l) => {
-            FunDecl::lambda(l.params.clone(), rewrite_everywhere(&l.body, rule))
-        }
+        FunDecl::Lambda(l) => FunDecl::lambda(l.params.clone(), rewrite_everywhere(&l.body, rule)),
         FunDecl::UserFun(_) => f.clone(),
         FunDecl::Pattern(p) => {
             if p.nested_fun().is_some() {
@@ -118,12 +117,7 @@ pub fn rewrite_at(e: &Expr, pos: usize, rule: LocalRewrite) -> Option<Expr> {
     rewrite_at_inner(e, pos, &mut idx, rule)
 }
 
-fn rewrite_at_inner(
-    e: &Expr,
-    pos: usize,
-    idx: &mut usize,
-    rule: LocalRewrite,
-) -> Option<Expr> {
+fn rewrite_at_inner(e: &Expr, pos: usize, idx: &mut usize, rule: LocalRewrite) -> Option<Expr> {
     let here = *idx;
     *idx += 1;
     if here == pos {
@@ -147,12 +141,7 @@ fn rewrite_at_inner(
     }
 }
 
-fn rewrite_at_fun(
-    f: &FunDecl,
-    pos: usize,
-    idx: &mut usize,
-    rule: LocalRewrite,
-) -> Option<FunDecl> {
+fn rewrite_at_fun(f: &FunDecl, pos: usize, idx: &mut usize, rule: LocalRewrite) -> Option<FunDecl> {
     match f {
         FunDecl::Lambda(l) => rewrite_at_inner(&l.body, pos, idx, rule)
             .map(|body| FunDecl::lambda(l.params.clone(), body)),
@@ -212,7 +201,10 @@ mod tests {
     use lift_arith::ArithExpr;
 
     fn sample() -> Expr {
-        let a = Expr::Param(Param::fresh("A", Type::array(Type::f32(), ArithExpr::var("N"))));
+        let a = Expr::Param(Param::fresh(
+            "A",
+            Type::array(Type::f32(), ArithExpr::var("N")),
+        ));
         map(id(), slide(3, 1, pad(1, 1, Boundary::Clamp, a)))
     }
 

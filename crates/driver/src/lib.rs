@@ -1,0 +1,241 @@
+//! The staged session API: one entry point from a high-level stencil
+//! expression to a tuned, cached, executable OpenCL kernel.
+//!
+//! The paper's value proposition is a single automated flow — expression →
+//! rewrite-based exploration → view-based code generation → auto-tuned
+//! execution. This crate is that flow as an API. Each stage returns a new
+//! typed object, so the compiler enforces the order and every intermediate
+//! result stays inspectable:
+//!
+//! ```text
+//! Pipeline::new(expr)?            // stage 1: type-checked program
+//!     .explore()?                 // stage 2: rewrite-derived VariantSet
+//!     .on(&device)                // stage 3: DeviceSession
+//!     .tune(Budget::default())?   // stage 4: CompiledStencil (winner)
+//!     .run(&inputs)?              // execute (no recompilation, ever)
+//! ```
+//!
+//! or, skipping the search, `.with_config("tiled-local", &[("TS", 10),
+//! ("lx", 8), ("ly", 8)])?`.
+//!
+//! Three design decisions carry the crate:
+//!
+//! * **Unified errors** — every fallible stage returns
+//!   [`Result<_, LiftError>`]; [`LiftError`] wraps the seven per-crate
+//!   error types with [`std::error::Error::source`] chaining.
+//! * **Kernel cache** — compilations are memoised process-wide in a
+//!   [`KernelCache`] keyed by (program fingerprint, variant, bound
+//!   parameters, device profile). Serving the same stencil twice compiles
+//!   once; see [`KernelCache::stats`].
+//! * **Baselines included** — [`reference_baseline`] (hand-written
+//!   kernels) and [`ppcg_baseline`] (the fixed polyhedral strategy) run
+//!   through the same machinery, which is how the harness regenerates the
+//!   paper's figures without a second orchestration path.
+
+mod cache;
+mod error;
+mod pipeline;
+mod tune;
+
+pub use cache::{CacheKey, CacheStats, KernelCache};
+pub use error::LiftError;
+pub use pipeline::{Budget, CompiledStencil, DeviceSession, Pipeline, TuneOutcome, VariantSet};
+pub use tune::{ppcg_baseline, reference_baseline, BenchResult, TunedVariant};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lift_oclsim::{DeviceProfile, VirtualDevice};
+    use std::sync::Arc;
+
+    #[test]
+    fn tune_end_to_end_small() {
+        let dev = VirtualDevice::new(DeviceProfile::k20c());
+        let outcome = Pipeline::for_benchmark("Jacobi2D5pt", &[18, 18])
+            .expect("benchmark exists")
+            .explore()
+            .expect("explores")
+            .on(&dev)
+            .tune_full(Budget::evaluations(4).with_seed(1))
+            .expect("tunes");
+        assert!(outcome.report.winner.time_s > 0.0);
+        assert!(
+            outcome.report.all.len() >= 2,
+            "expected several variants, got {:?}",
+            outcome
+                .report
+                .all
+                .iter()
+                .map(|v| &v.name)
+                .collect::<Vec<_>>()
+        );
+        for v in &outcome.report.all {
+            assert!(v.gelems_per_s > 0.0, "{} has no throughput", v.name);
+        }
+        // The winner is executable and carries its modeled time.
+        assert_eq!(
+            outcome.winner.predicted_time_s(),
+            Some(outcome.report.winner.time_s)
+        );
+        assert!(outcome.winner.source().contains("__kernel"));
+    }
+
+    #[test]
+    fn reference_runs_and_validates() {
+        let bench = lift_stencils::by_name("Hotspot2D");
+        let dev = VirtualDevice::new(DeviceProfile::k20c());
+        let r = reference_baseline(&bench, &[32, 32], &dev, 1).expect("runs");
+        assert!(r.time_s > 0.0);
+        assert!(r.local_mem);
+    }
+
+    #[test]
+    fn ppcg_tunes_2d() {
+        let bench = lift_stencils::by_name("Jacobi2D5pt");
+        let dev = VirtualDevice::new(DeviceProfile::k20c());
+        let r = ppcg_baseline(&bench, &[18, 18], &dev, 6, 1).expect("ppcg result");
+        assert!(r.tiled);
+        assert!(r.time_s > 0.0);
+    }
+
+    #[test]
+    fn ppcg_tunes_3d() {
+        let bench = lift_stencils::by_name("Heat");
+        let dev = VirtualDevice::new(DeviceProfile::mali_t628());
+        let r = ppcg_baseline(&bench, &[8, 8, 8], &dev, 4, 1).expect("ppcg result");
+        assert!(!r.tiled);
+    }
+
+    #[test]
+    fn unknown_benchmark_and_variant_are_errors_not_panics() {
+        let err = Pipeline::for_benchmark("NoSuchBench", &[8, 8]).unwrap_err();
+        assert!(matches!(err, LiftError::UnknownBenchmark(_)));
+
+        let dev = VirtualDevice::new(DeviceProfile::k20c());
+        let err = Pipeline::for_benchmark("Jacobi2D5pt", &[10, 10])
+            .unwrap()
+            .explore()
+            .unwrap()
+            .on(&dev)
+            .with_config("no-such-variant", &[])
+            .unwrap_err();
+        let LiftError::UnknownVariant { available, .. } = err else {
+            panic!("expected UnknownVariant, got {err}");
+        };
+        assert!(available.iter().any(|n| n == "global"));
+    }
+
+    #[test]
+    fn with_config_rejects_bad_parameters() {
+        let dev = VirtualDevice::new(DeviceProfile::k20c());
+        let session = || {
+            Pipeline::for_benchmark("Jacobi2D5pt", &[10, 10])
+                .unwrap()
+                .explore()
+                .unwrap()
+                .on(&dev)
+        };
+        // Unknown parameter name.
+        let err = session().with_config("global", &[("Ts", 4)]).unwrap_err();
+        assert!(matches!(err, LiftError::InvalidConfig(_)), "{err}");
+        // Missing required tunable.
+        let err = session().with_config("tiled", &[]).unwrap_err();
+        assert!(matches!(err, LiftError::InvalidConfig(_)), "{err}");
+        // Invalid tunable value (5 is not a valid tile size for 12-padded).
+        let err = session().with_config("tiled", &[("TS", 5)]).unwrap_err();
+        assert!(matches!(err, LiftError::InvalidConfig(_)), "{err}");
+        // Oversized work-group.
+        let err = session()
+            .with_config("global", &[("lx", 4096)])
+            .unwrap_err();
+        assert!(matches!(err, LiftError::InvalidConfig(_)), "{err}");
+    }
+
+    #[test]
+    fn expression_pipeline_validates_through_the_evaluator() {
+        use lift_core::prelude::*;
+        let n = 24usize;
+        let program = lam_named("A", Type::array(Type::f32(), n), |a| {
+            let sum = lam(Type::array(Type::f32(), 3), |nbh| {
+                reduce(add_f32(), Expr::f32(0.0), nbh)
+            });
+            map(sum, slide(3, 1, pad(1, 1, Boundary::Clamp, a)))
+        });
+        let dev = VirtualDevice::new(DeviceProfile::hd7970());
+        let compiled = Pipeline::new(program)
+            .expect("typechecks")
+            .explore()
+            .expect("explores")
+            .on(&dev)
+            .tune(Budget::evaluations(4).with_seed(3))
+            .expect("a free-standing expression tunes too");
+        let input: Vec<f32> = (0..n).map(|i| (i as f32 * 0.3).sin()).collect();
+        let out = compiled.run(&[input.clone().into()]).expect("runs");
+        let expected: Vec<f32> = (0..n as i64)
+            .map(|i| {
+                let at = |j: i64| input[j.clamp(0, n as i64 - 1) as usize];
+                at(i - 1) + at(i) + at(i + 1)
+            })
+            .collect();
+        assert_eq!(out.output.as_f32(), expected.as_slice());
+    }
+
+    #[test]
+    fn wrong_arity_sizes_are_an_error_not_a_panic() {
+        let err = Pipeline::for_benchmark("Jacobi2D5pt", &[16]).unwrap_err();
+        assert!(matches!(err, LiftError::InvalidConfig(_)), "{err}");
+        let err = Pipeline::for_benchmark("Heat", &[8, 8, 8, 8]).unwrap_err();
+        assert!(matches!(err, LiftError::InvalidConfig(_)), "{err}");
+    }
+
+    #[test]
+    fn scalar_parameter_tuning_is_an_error_not_a_panic() {
+        use lift_core::prelude::*;
+        // Well-typed, but the scalar parameter has no buffer shape to
+        // synthesise tuning inputs for.
+        let prog = lam2(Type::f32(), Type::array(Type::f32(), 8usize), |s, a| {
+            map(
+                lam(Type::f32(), move |x| call(&add_f32(), [x, s.clone()])),
+                a,
+            )
+        });
+        let dev = VirtualDevice::new(DeviceProfile::k20c());
+        let err = Pipeline::new(prog)
+            .expect("typechecks")
+            .explore()
+            .expect("explores")
+            .on(&dev)
+            .tune(Budget::evaluations(2))
+            .unwrap_err();
+        assert!(matches!(err, LiftError::Unsupported(_)), "{err}");
+    }
+
+    #[test]
+    fn ill_typed_program_is_rejected_at_stage_one() {
+        use lift_core::prelude::*;
+        let bad = lam(Type::f32(), |x| map(add_f32(), x));
+        let err = Pipeline::new(bad).unwrap_err();
+        assert!(matches!(err, LiftError::Type(_)));
+    }
+
+    #[test]
+    fn tuning_shares_kernels_through_the_cache() {
+        // Within one tuning run the tuner sweeps work-group sizes far more
+        // often than tunables; every such sweep must share one kernel.
+        let cache = Arc::new(KernelCache::new());
+        let dev = VirtualDevice::new(DeviceProfile::k20c());
+        Pipeline::for_benchmark("Jacobi2D5pt", &[18, 18])
+            .unwrap()
+            .explore()
+            .unwrap()
+            .on(&dev)
+            .with_cache(cache.clone())
+            .tune(Budget::evaluations(8).with_seed(2))
+            .expect("tunes");
+        let stats = cache.stats();
+        assert!(
+            stats.hits > 0,
+            "tuning must hit the cache across launch configs: {stats:?}"
+        );
+    }
+}

@@ -1,0 +1,466 @@
+//! Exploration + tuning orchestration behind the staged [`crate::Pipeline`]
+//! API, plus the two baselines (hand-written reference kernels and the PPCG
+//! strategy).
+//!
+//! This is the single home of the flow that used to be duplicated between
+//! `examples/quickstart.rs` and the old private `harness::pipeline`:
+//! bind tunables → generate OpenCL (through the kernel cache) → execute on
+//! the virtual device → validate → keep the fastest modeled configuration.
+
+use lift_arith::Bindings;
+use lift_codegen::{compile_kernel, substitute_sizes};
+use lift_oclsim::{BufferData, LaunchConfig, VirtualDevice};
+use lift_rewrite::strategy::{bind_tunables, Tunable, Variant};
+use lift_stencils::refkernels::reference_kernel;
+use lift_stencils::Benchmark;
+use lift_tuner::{ParamSpace, ParamSpec, Tuner};
+
+use crate::cache::{program_fingerprint, CacheKey, KernelCache};
+use crate::error::LiftError;
+
+/// One tuned implementation with its best configuration.
+#[derive(Debug, Clone)]
+pub struct TunedVariant {
+    /// Variant name (`"global"`, `"tiled-local"`, `"ppcg"`, `"reference"`).
+    pub name: String,
+    /// Modeled runtime in seconds.
+    pub time_s: f64,
+    /// Giga-elements updated per second (the paper's Fig. 7 metric).
+    pub gelems_per_s: f64,
+    /// The winning parameter values.
+    pub config: Vec<(String, i64)>,
+    /// The winning launch configuration (global, local).
+    pub launch: ([usize; 3], [usize; 3]),
+    /// Whether the variant uses overlapped tiling.
+    pub tiled: bool,
+    /// Whether it stages through local memory.
+    pub local_mem: bool,
+    /// Tuner evaluations spent.
+    pub evaluations: usize,
+}
+
+/// The outcome of exploring + tuning one program on one device.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Benchmark (or program) name.
+    pub bench: String,
+    /// Device name.
+    pub device: String,
+    /// Grid sizes used.
+    pub sizes: Vec<usize>,
+    /// The fastest tuned variant.
+    pub winner: TunedVariant,
+    /// Best result per explored variant.
+    pub all: Vec<TunedVariant>,
+}
+
+/// Everything the tuner needs about the program being tuned, independent of
+/// where the program came from (Table-1 benchmark or user expression).
+pub(crate) struct TuneContext<'a> {
+    /// Display name used in reports and errors.
+    pub name: String,
+    /// Concrete output extents, outermost first.
+    pub out_sizes: Vec<usize>,
+    /// Input buffers, one per program parameter.
+    pub inputs: Vec<BufferData>,
+    /// Reference output to validate against (skipped when absent).
+    pub golden: Option<Vec<f32>>,
+    pub device: &'a VirtualDevice,
+    pub cache: &'a KernelCache,
+    pub budget: usize,
+    pub seed: u64,
+}
+
+fn round_up(n: usize, m: usize) -> usize {
+    n.div_ceil(m) * m
+}
+
+/// Work-group size candidates per dimensionality.
+fn local_space(dims: usize, max_wg: usize) -> Vec<ParamSpec> {
+    match dims {
+        1 => vec![ParamSpec::pow2("lx", 32, max_wg as i64)],
+        2 => vec![ParamSpec::pow2("lx", 8, 64), ParamSpec::pow2("ly", 4, 32)],
+        _ => vec![
+            ParamSpec::pow2("lx", 8, 64),
+            ParamSpec::pow2("ly", 2, 16),
+            ParamSpec::new("lz", vec![1, 2]),
+        ],
+    }
+}
+
+fn value_of(cfg: &[(String, i64)], name: &str) -> Option<i64> {
+    cfg.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+}
+
+/// Derives the launch configuration for a variant given its bound
+/// parameters.
+pub(crate) fn launch_for(
+    variant: &Variant,
+    out_sizes: &[usize],
+    cfg: &[(String, i64)],
+) -> Option<LaunchConfig> {
+    let l = |name: &str, default: usize| value_of(cfg, name).map(|v| v as usize).unwrap_or(default);
+    let (lx, ly, lz) = (l("lx", 32), l("ly", 1), l("lz", 1));
+    let dims = variant.dims;
+
+    // Output extents in launch order: x = innermost.
+    let ox = *out_sizes.last()?;
+    let oy = if dims >= 2 { out_sizes[dims - 2] } else { 1 };
+    let oz = if dims >= 3 { out_sizes[dims - 3] } else { 1 };
+
+    if variant.tiled {
+        // One work-group per tile.
+        let ts = value_of(cfg, "TS")?;
+        let t = variant.tunables.iter().find(|t| t.var() == "TS")?;
+        let Tunable::TileSize {
+            nbh_size,
+            nbh_step,
+            lens,
+            ..
+        } = t
+        else {
+            return None;
+        };
+        let v = ts - (nbh_size - nbh_step);
+        let groups: Vec<usize> = lens
+            .iter()
+            .map(|len| ((len - ts) / v + 1) as usize)
+            .collect();
+        match variant.dims {
+            1 => Some(LaunchConfig::d1(groups[0] * lx, lx)),
+            _ => Some(LaunchConfig::d2(groups[1] * lx, groups[0] * ly, lx, ly)),
+        }
+    } else {
+        let cf = value_of(cfg, "CF").unwrap_or(1).max(1) as usize;
+        match dims {
+            1 => Some(LaunchConfig::d1(round_up(ox.div_ceil(cf), lx), lx)),
+            2 => Some(LaunchConfig::d2(
+                round_up(ox.div_ceil(cf), lx),
+                round_up(oy, ly),
+                lx,
+                ly,
+            )),
+            _ => {
+                // The z dimension may be strip-mined away ("ppcg" style):
+                // detect via the variant name.
+                let gz = if variant.name == "ppcg" {
+                    lz
+                } else {
+                    round_up(oz, lz)
+                };
+                Some(LaunchConfig::d3(
+                    [round_up(ox.div_ceil(cf), lx), round_up(oy, ly), gz],
+                    [lx, ly, lz],
+                ))
+            }
+        }
+    }
+}
+
+/// The kernel function name generated for a variant.
+pub(crate) fn kernel_name(program_name: &str, variant_name: &str) -> String {
+    let sanitize = |s: &str| {
+        s.chars()
+            .map(|c| {
+                if c.is_ascii_alphanumeric() {
+                    c.to_ascii_lowercase()
+                } else {
+                    '_'
+                }
+            })
+            .collect::<String>()
+    };
+    format!("{}_{}", sanitize(program_name), sanitize(variant_name))
+}
+
+/// Compiles a variant with its tunables bound, through the cache.
+pub(crate) fn compile_bound(
+    cache: &KernelCache,
+    device: &VirtualDevice,
+    program_name: &str,
+    variant: &Variant,
+    variant_fp: u64,
+    tun_values: &[(String, i64)],
+) -> Result<std::sync::Arc<lift_codegen::Kernel>, LiftError> {
+    let kname = kernel_name(program_name, &variant.name);
+    let key = CacheKey {
+        program: variant_fp,
+        variant: kname.clone(),
+        params: tun_values.to_vec(),
+        device: device.profile().name.to_string(),
+    };
+    cache.get_or_compile(key, || {
+        let bound = if tun_values.is_empty() {
+            variant.program.clone()
+        } else {
+            bind_tunables(variant, tun_values).ok_or_else(|| {
+                LiftError::InvalidConfig(format!(
+                    "invalid tunable values {tun_values:?} for variant `{}`",
+                    variant.name
+                ))
+            })?
+        };
+        // Any residual variables (none expected) are rejected by codegen.
+        let bound = substitute_sizes(&bound, &Bindings::new());
+        compile_kernel(&kname, &bound).map_err(Into::into)
+    })
+}
+
+pub(crate) fn outputs_match(got: &[f32], want: &[f32]) -> bool {
+    got.len() == want.len()
+        && got
+            .iter()
+            .zip(want)
+            .all(|(a, b)| (a - b).abs() <= 1e-3 * b.abs().max(1.0))
+}
+
+/// Compiles and executes one bound configuration, returning the modeled
+/// time if it runs and validates. All failures score as `None`: during a
+/// search, a configuration that does not compile, launch or validate is
+/// simply worthless, not fatal.
+fn evaluate_config(
+    ctx: &TuneContext<'_>,
+    variant: &Variant,
+    variant_fp: u64,
+    cfg: &[(String, i64)],
+    validate: bool,
+) -> Option<f64> {
+    let tun_values: Vec<(String, i64)> = variant
+        .tunables
+        .iter()
+        .filter_map(|t| value_of(cfg, t.var()).map(|v| (t.var().to_string(), v)))
+        .collect();
+    if tun_values.iter().any(|(n, v)| {
+        variant
+            .tunables
+            .iter()
+            .find(|t| t.var() == n)
+            .is_some_and(|t| !t.is_valid(*v))
+    }) {
+        return None;
+    }
+    let kernel = compile_bound(
+        ctx.cache,
+        ctx.device,
+        &ctx.name,
+        variant,
+        variant_fp,
+        &tun_values,
+    )
+    .ok()?;
+    let launch = launch_for(variant, &ctx.out_sizes, cfg)?;
+    let out = ctx.device.run(&kernel, &ctx.inputs, launch).ok()?;
+    if validate {
+        if let Some(golden) = &ctx.golden {
+            if !outputs_match(out.output.as_f32(), golden) {
+                return None;
+            }
+        }
+    }
+    Some(out.time_s)
+}
+
+/// Tunes every variant and returns the per-variant bests plus the winner.
+///
+/// # Errors
+///
+/// [`LiftError::NoValidConfiguration`] when not a single variant produced a
+/// configuration that compiles, runs and validates.
+pub(crate) fn tune_variants(
+    ctx: &TuneContext<'_>,
+    variants: &[Variant],
+) -> Result<BenchResult, LiftError> {
+    let mut all = Vec::new();
+    for variant in variants {
+        if let Some(t) = tune_variant(ctx, variant) {
+            all.push(t);
+        }
+    }
+    let winner = all
+        .iter()
+        .min_by(|a, b| a.time_s.total_cmp(&b.time_s))
+        .cloned()
+        .ok_or_else(|| LiftError::NoValidConfiguration {
+            program: ctx.name.clone(),
+            device: ctx.device.profile().name.to_string(),
+        })?;
+    Ok(BenchResult {
+        bench: ctx.name.clone(),
+        device: ctx.device.profile().name.to_string(),
+        sizes: ctx.out_sizes.clone(),
+        winner,
+        all,
+    })
+}
+
+/// Tunes one variant; `None` when no configuration of this variant is
+/// valid (other variants may still win).
+pub(crate) fn tune_variant(ctx: &TuneContext<'_>, variant: &Variant) -> Option<TunedVariant> {
+    let max_wg = ctx.device.profile().max_wg_size;
+    let variant_fp = program_fingerprint(&variant.program);
+    let mut specs = Vec::new();
+    for t in &variant.tunables {
+        let cap = match t {
+            Tunable::TileSize { lens, .. } => lens.iter().copied().min().unwrap_or(64).min(64),
+            Tunable::CoarsenFactor { .. } => 16,
+        };
+        let mut cands = t.candidates(cap);
+        if let Tunable::TileSize { nbh_size, .. } = t {
+            // Degenerate tiles (little more than the neighbourhood) produce
+            // one output per work-group and pathological launch sizes; no
+            // sane tuner budget should be spent simulating them.
+            cands.retain(|u| *u >= nbh_size + 3);
+        }
+        if cands.is_empty() {
+            return None;
+        }
+        specs.push(ParamSpec::new(t.var().to_string(), cands));
+    }
+    let n_tunables = specs.len();
+    specs.extend(local_space(variant.dims, max_wg));
+    let space = ParamSpace::new(specs).with_constraint(move |cfg| {
+        // Work-group size within the device limit.
+        let wg: i64 = cfg[n_tunables..].iter().product();
+        wg as usize <= max_wg
+    });
+    let names: Vec<String> = space
+        .params()
+        .iter()
+        .map(|p| p.name().to_string())
+        .collect();
+
+    let validate = std::env::var("LIFT_NO_VALIDATE")
+        .map(|v| v != "1")
+        .unwrap_or(true);
+    let tuner = Tuner::new(space, ctx.budget).with_seed(ctx.seed ^ hash(&variant.name));
+    let result = tuner.run(|cfg| {
+        let named: Vec<(String, i64)> = names.iter().cloned().zip(cfg.iter().copied()).collect();
+        evaluate_config(ctx, variant, variant_fp, &named, validate)
+    });
+    let best = result.best?;
+    let config: Vec<(String, i64)> = names.into_iter().zip(best.values).collect();
+    let launch = launch_for(variant, &ctx.out_sizes, &config)?;
+    let out_elems: usize = ctx.out_sizes.iter().product();
+    Some(TunedVariant {
+        name: variant.name.clone(),
+        time_s: best.score,
+        gelems_per_s: out_elems as f64 / best.score / 1e9,
+        config,
+        launch: (launch.global, launch.local),
+        tiled: variant.tiled,
+        local_mem: variant.local_mem,
+        evaluations: result.evaluations,
+    })
+}
+
+/// Fingerprint of a variant's lowered program (cache key component).
+pub(crate) fn program_fingerprint_of(variant: &Variant) -> u64 {
+    program_fingerprint(&variant.program)
+}
+
+fn hash(s: &str) -> u64 {
+    crate::cache::fnv1a(s.as_bytes())
+}
+
+pub(crate) fn bench_inputs(bench: &Benchmark, sizes: &[usize], seed: u64) -> Vec<BufferData> {
+    bench
+        .gen_inputs(sizes, seed)
+        .into_iter()
+        .map(BufferData::F32)
+        .collect()
+}
+
+pub(crate) fn bench_golden(bench: &Benchmark, inputs: &[BufferData], sizes: &[usize]) -> Vec<f32> {
+    bench.golden(
+        &inputs
+            .iter()
+            .map(|b| b.as_f32().to_vec())
+            .collect::<Vec<_>>(),
+        sizes,
+    )
+}
+
+/// The PPCG baseline as a [`Variant`], ready for the shared tuner.
+pub(crate) fn ppcg_variant(prog: &lift_core::expr::FunDecl) -> Result<Variant, LiftError> {
+    let k = lift_ppcg::compile(prog)?;
+    Ok(Variant {
+        name: "ppcg".into(),
+        program: k.program,
+        tunables: k.tunables,
+        dims: k.dims,
+        tiled: k.dims == 2,
+        local_mem: k.dims == 2,
+        unrolled: false,
+    })
+}
+
+/// Tunes the PPCG baseline for `bench` (Fig. 8 benchmarks only).
+///
+/// # Errors
+///
+/// [`LiftError::Ppcg`] when the baseline cannot compile the program shape;
+/// [`LiftError::NoValidConfiguration`] when tuning finds nothing valid.
+pub fn ppcg_baseline(
+    bench: &Benchmark,
+    sizes: &[usize],
+    dev: &VirtualDevice,
+    budget: usize,
+    seed: u64,
+) -> Result<TunedVariant, LiftError> {
+    let prog = bench.program(sizes);
+    let variant = ppcg_variant(&prog)?;
+    let inputs = bench_inputs(bench, sizes, seed);
+    let golden = bench_golden(bench, &inputs, sizes);
+    let ctx = TuneContext {
+        name: bench.name.to_string(),
+        out_sizes: sizes.to_vec(),
+        inputs,
+        golden: Some(golden),
+        device: dev,
+        cache: KernelCache::global(),
+        budget,
+        seed,
+    };
+    tune_variant(&ctx, &variant).ok_or_else(|| LiftError::NoValidConfiguration {
+        program: format!("{} (ppcg)", bench.name),
+        device: dev.profile().name.to_string(),
+    })
+}
+
+/// Executes the hand-written reference kernel for a Fig. 7 benchmark (no
+/// tuning — references are fixed).
+///
+/// # Errors
+///
+/// [`LiftError::Sim`] when the kernel fails to execute and
+/// [`LiftError::Validation`] when it produces wrong results — hand-written
+/// kernels are part of the repository and must work.
+pub fn reference_baseline(
+    bench: &Benchmark,
+    sizes: &[usize],
+    dev: &VirtualDevice,
+    seed: u64,
+) -> Result<TunedVariant, LiftError> {
+    let r = reference_kernel(bench, sizes);
+    let inputs = bench_inputs(bench, sizes, seed);
+    let golden = bench_golden(bench, &inputs, sizes);
+    let cfg = LaunchConfig::d3(r.global, r.local);
+    let out = dev.run(&r.kernel, &inputs, cfg)?;
+    if !outputs_match(out.output.as_f32(), &golden) {
+        return Err(LiftError::Validation {
+            variant: format!("reference:{}", bench.name),
+            detail: "output diverges from the golden reference".into(),
+        });
+    }
+    let out_elems = bench.out_elements(sizes);
+    Ok(TunedVariant {
+        name: "reference".into(),
+        time_s: out.time_s,
+        gelems_per_s: out_elems as f64 / out.time_s / 1e9,
+        config: vec![],
+        launch: (r.global, r.local),
+        tiled: false,
+        local_mem: bench.name == "Hotspot2D",
+        evaluations: 1,
+    })
+}

@@ -1,11 +1,29 @@
 //! The paper's experiments: Table 1, Figure 7, Figure 8 and the ablation
-//! study over the rewrite rules.
+//! study over the rewrite rules — all driven through the staged
+//! [`Pipeline`] API.
 
+use lift_driver::{ppcg_baseline, reference_baseline, Budget, LiftError, Pipeline};
 use lift_oclsim::{DeviceProfile, VirtualDevice};
-use lift_stencils::{by_name, fig7_names, fig8_names, suite};
+use lift_stencils::{by_name, fig7_names, fig8_names, suite, Benchmark};
 
-use crate::pipeline::{run_reference, tune_lift, tune_ppcg};
 use crate::{seed, tune_budget};
+
+fn budget() -> Budget {
+    Budget::evaluations(tune_budget()).with_seed(seed())
+}
+
+/// Explore + tune one benchmark on one device through the pipeline.
+fn tune(
+    bench: &Benchmark,
+    sizes: &[usize],
+    dev: &VirtualDevice,
+) -> Result<lift_driver::BenchResult, LiftError> {
+    Ok(Pipeline::from_benchmark(bench, sizes)?
+        .explore()?
+        .on(dev)
+        .tune_full(budget())?
+        .report)
+}
 
 /// One cell of Figure 7: Lift vs the hand-written kernel.
 #[derive(Debug, Clone)]
@@ -25,17 +43,20 @@ pub struct Fig7Row {
 }
 
 /// Runs the Figure-7 experiment (6 benchmarks × 3 devices).
-pub fn fig7() -> Vec<Fig7Row> {
-    let budget = tune_budget();
-    let seed = seed();
+///
+/// # Errors
+///
+/// Any [`LiftError`] from the pipeline — tuning that finds no valid
+/// configuration, or a reference kernel that fails to run or validate.
+pub fn fig7() -> Result<Vec<Fig7Row>, LiftError> {
     let mut rows = Vec::new();
     for dev_profile in DeviceProfile::all() {
         let dev = VirtualDevice::new(dev_profile);
         for name in fig7_names() {
             let bench = by_name(name);
             let sizes = bench.size(false);
-            let lift = tune_lift(&bench, &sizes, &dev, budget, seed);
-            let reference = run_reference(&bench, &sizes, &dev, seed);
+            let lift = tune(&bench, &sizes, &dev)?;
+            let reference = reference_baseline(&bench, &sizes, &dev, seed())?;
             rows.push(Fig7Row {
                 bench: name.to_string(),
                 device: dev.profile().name.to_string(),
@@ -46,7 +67,7 @@ pub fn fig7() -> Vec<Fig7Row> {
             });
         }
     }
-    rows
+    Ok(rows)
 }
 
 /// One cell of Figure 8: the Lift speedup over PPCG.
@@ -69,9 +90,13 @@ pub struct Fig8Row {
 /// Runs the Figure-8 experiment (8 benchmarks × {small, large} × 3
 /// devices). As in the paper, the large sizes are skipped on the ARM GPU
 /// (*"Large input sizes did not fit onto the ARM GPU"*).
-pub fn fig8() -> Vec<Fig8Row> {
-    let budget = tune_budget();
-    let seed = seed();
+///
+/// # Errors
+///
+/// Any [`LiftError`] from the pipeline. A benchmark the PPCG strategy
+/// cannot compile is skipped (not an error), matching the paper's
+/// "PPCG-expressible subset" framing.
+pub fn fig8() -> Result<Vec<Fig8Row>, LiftError> {
     let mut rows = Vec::new();
     for dev_profile in DeviceProfile::all() {
         let dev = VirtualDevice::new(dev_profile);
@@ -83,9 +108,11 @@ pub fn fig8() -> Vec<Fig8Row> {
                     continue;
                 }
                 let sizes = bench.size(large);
-                let lift = tune_lift(&bench, &sizes, &dev, budget, seed);
-                let Some(ppcg) = tune_ppcg(&bench, &sizes, &dev, budget, seed) else {
-                    continue;
+                let lift = tune(&bench, &sizes, &dev)?;
+                let ppcg = match ppcg_baseline(&bench, &sizes, &dev, tune_budget(), seed()) {
+                    Ok(p) => p,
+                    Err(LiftError::Ppcg(_)) => continue,
+                    Err(e) => return Err(e),
                 };
                 rows.push(Fig8Row {
                     bench: name.to_string(),
@@ -98,7 +125,7 @@ pub fn fig8() -> Vec<Fig8Row> {
             }
         }
     }
-    rows
+    Ok(rows)
 }
 
 /// One row of the ablation study: per-variant best throughput.
@@ -119,16 +146,18 @@ pub struct AblationRow {
 /// Per-variant ablation over the rewrite-rule space (§4): quantifies what
 /// each optimisation (tiling, local memory, unrolling, coarsening) is worth
 /// on each device.
-pub fn ablation(bench_names: &[&str]) -> Vec<AblationRow> {
-    let budget = tune_budget();
-    let seed = seed();
+///
+/// # Errors
+///
+/// Any [`LiftError`] from the pipeline.
+pub fn ablation(bench_names: &[&str]) -> Result<Vec<AblationRow>, LiftError> {
     let mut rows = Vec::new();
     for dev_profile in DeviceProfile::all() {
         let dev = VirtualDevice::new(dev_profile);
         for name in bench_names {
             let bench = by_name(name);
             let sizes = bench.size(false);
-            let result = tune_lift(&bench, &sizes, &dev, budget, seed);
+            let result = tune(&bench, &sizes, &dev)?;
             let best = result.winner.gelems_per_s;
             for v in &result.all {
                 rows.push(AblationRow {
@@ -141,7 +170,7 @@ pub fn ablation(bench_names: &[&str]) -> Vec<AblationRow> {
             }
         }
     }
-    rows
+    Ok(rows)
 }
 
 /// One row of Table 1.

@@ -1,10 +1,8 @@
 //! Experiment drivers reproducing the paper's evaluation (§6–§7).
 //!
-//! The [`pipeline`] module runs the full Lift flow for one benchmark on one
-//! virtual device: enumerate rewrite variants → bind tunables → generate
-//! OpenCL → execute on the simulator → validate against the golden
-//! reference → keep the fastest modeled configuration. [`experiments`]
-//! builds Figures 7 and 8 and the Table-1/ablation reports from it.
+//! All orchestration lives in `lift-driver`'s staged [`Pipeline`] API —
+//! this crate only iterates the benchmark × device grid, collects rows and
+//! renders them ([`report`]) as text or JSON (`--json` on the binary).
 //!
 //! Environment knobs (all optional):
 //!
@@ -13,11 +11,10 @@
 //! * `LIFT_SEED` — experiment seed; default 2018 (the CGO year).
 
 pub mod experiments;
-pub mod pipeline;
 pub mod report;
 
-pub use experiments::{ablation, fig7, fig8, table1, AblationRow, Fig7Row, Fig8Row};
-pub use pipeline::{run_reference, tune_lift, tune_ppcg, BenchResult, TunedVariant};
+pub use experiments::{ablation, fig7, fig8, table1, AblationRow, Fig7Row, Fig8Row, Table1Row};
+pub use lift_driver::{BenchResult, LiftError, Pipeline, TunedVariant};
 
 /// The tuning budget per variant/device pair.
 pub fn tune_budget() -> usize {

@@ -1,41 +1,121 @@
 //! Command-line driver for the paper's experiments.
 //!
 //! ```text
-//! lift-harness table1     # Table 1 (benchmark inventory)
-//! lift-harness fig7       # Figure 7 (Lift vs hand-written kernels)
-//! lift-harness fig8       # Figure 8 (Lift vs PPCG)
-//! lift-harness ablation   # per-variant rewrite-rule ablation
-//! lift-harness all        # everything above
+//! lift-harness table1             # Table 1 (benchmark inventory)
+//! lift-harness fig7               # Figure 7 (Lift vs hand-written kernels)
+//! lift-harness fig8               # Figure 8 (Lift vs PPCG)
+//! lift-harness ablation           # per-variant rewrite-rule ablation
+//! lift-harness all                # everything above
+//! lift-harness --json fig7        # machine-readable output for CI
 //! ```
+//!
+//! Exit codes: 0 on success, 1 when an experiment fails (e.g. no valid
+//! configuration for a benchmark — a broken compiler must fail CI), 2 for
+//! usage errors.
 
-use lift_harness::{ablation, fig7, fig8, table1};
-use lift_harness::report::{render_ablation, render_fig7, render_fig8, render_table1};
+use lift_harness::report::{
+    json_ablation, json_fig7, json_fig8, json_table1, render_ablation, render_fig7, render_fig8,
+    render_table1,
+};
+use lift_harness::{ablation, fig7, fig8, table1, LiftError};
 
-fn main() {
-    let cmd = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
-    match cmd.as_str() {
-        "table1" => print!("{}", render_table1(&table1())),
-        "fig7" => print!("{}", render_fig7(&fig7())),
-        "fig8" => print!("{}", render_fig8(&fig8())),
-        "ablation" => print!(
-            "{}",
-            render_ablation(&ablation(&["Jacobi2D5pt", "Jacobi3D7pt"]))
-        ),
-        "all" => {
-            print!("{}", render_table1(&table1()));
-            println!();
-            print!("{}", render_fig7(&fig7()));
-            println!();
-            print!("{}", render_fig8(&fig8()));
-            println!();
+const ABLATION_BENCHES: [&str; 2] = ["Jacobi2D5pt", "Jacobi3D7pt"];
+
+fn run(cmd: &str, json: bool) -> Result<(), LiftError> {
+    match cmd {
+        "table1" => {
+            let rows = table1();
             print!(
                 "{}",
-                render_ablation(&ablation(&["Jacobi2D5pt", "Jacobi3D7pt"]))
+                if json {
+                    json_table1(&rows)
+                } else {
+                    render_table1(&rows)
+                }
             );
+        }
+        "fig7" => {
+            let rows = fig7()?;
+            print!(
+                "{}",
+                if json {
+                    json_fig7(&rows)
+                } else {
+                    render_fig7(&rows)
+                }
+            );
+        }
+        "fig8" => {
+            let rows = fig8()?;
+            print!(
+                "{}",
+                if json {
+                    json_fig8(&rows)
+                } else {
+                    render_fig8(&rows)
+                }
+            );
+        }
+        "ablation" => {
+            let rows = ablation(&ABLATION_BENCHES)?;
+            print!(
+                "{}",
+                if json {
+                    json_ablation(&rows)
+                } else {
+                    render_ablation(&rows)
+                }
+            );
+        }
+        "all" if json => {
+            // One parseable document, not four concatenated arrays.
+            print!(
+                "{{\n\"table1\": {},\n\"fig7\": {},\n\"fig8\": {},\n\"ablation\": {}\n}}\n",
+                json_table1(&table1()).trim_end(),
+                json_fig7(&fig7()?).trim_end(),
+                json_fig8(&fig8()?).trim_end(),
+                json_ablation(&ablation(&ABLATION_BENCHES)?).trim_end()
+            );
+        }
+        "all" => {
+            for (i, sub) in ["table1", "fig7", "fig8", "ablation"].iter().enumerate() {
+                if i > 0 {
+                    println!();
+                }
+                run(sub, json)?;
+            }
         }
         other => {
             eprintln!("unknown experiment `{other}`; use table1|fig7|fig8|ablation|all");
             std::process::exit(2);
         }
+    }
+    Ok(())
+}
+
+fn main() {
+    let mut json = false;
+    let mut cmd: Option<String> = None;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--json" => json = true,
+            other if cmd.is_none() => cmd = Some(other.to_string()),
+            other => {
+                eprintln!("unexpected argument `{other}`");
+                std::process::exit(2);
+            }
+        }
+    }
+    let cmd = cmd.unwrap_or_else(|| "all".to_string());
+    if let Err(e) = run(&cmd, json) {
+        eprintln!("lift-harness: {e}");
+        // Surface the full cause chain: the unified error type links back
+        // to the originating crate's diagnostic.
+        let mut src = std::error::Error::source(&e);
+        while let Some(cause) = src {
+            eprintln!("  caused by: {cause}");
+            src = cause.source();
+        }
+        std::process::exit(1);
     }
 }

@@ -1,6 +1,100 @@
-//! Plain-text rendering of experiment results in the paper's shape.
+//! Rendering of experiment results: plain text in the paper's shape, plus
+//! machine-readable JSON (`lift-harness --json`) for CI and perf tracking.
 
 use crate::experiments::{AblationRow, Fig7Row, Fig8Row, Table1Row};
+
+/// Escapes a string for a JSON literal (the names here are ASCII, but the
+/// device names contain spaces and the code must not silently corrupt
+/// anything else).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// JSON numbers must be finite; a failed run's NaN/inf becomes `null`.
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn json_array(rows: impl IntoIterator<Item = String>) -> String {
+    let body: Vec<String> = rows.into_iter().collect();
+    format!("[\n  {}\n]\n", body.join(",\n  "))
+}
+
+/// Renders Table 1 as a JSON array.
+pub fn json_table1(rows: &[Table1Row]) -> String {
+    json_array(rows.iter().map(|r| {
+        format!(
+            "{{\"bench\": {}, \"dims\": {}, \"points\": {}, \"input_size\": {}, \"paper_size\": {}, \"grids\": {}}}",
+            json_str(&r.bench),
+            r.dims,
+            r.points,
+            json_str(&r.input_size),
+            json_str(&r.paper_size),
+            r.grids
+        )
+    }))
+}
+
+/// Renders Figure 7 as a JSON array.
+pub fn json_fig7(rows: &[Fig7Row]) -> String {
+    json_array(rows.iter().map(|r| {
+        format!(
+            "{{\"bench\": {}, \"device\": {}, \"lift_gelems\": {}, \"reference_gelems\": {}, \"lift_variant\": {}, \"lift_tiled\": {}}}",
+            json_str(&r.bench),
+            json_str(&r.device),
+            json_f64(r.lift_gelems),
+            json_f64(r.reference_gelems),
+            json_str(&r.lift_variant),
+            r.lift_tiled
+        )
+    }))
+}
+
+/// Renders Figure 8 as a JSON array.
+pub fn json_fig8(rows: &[Fig8Row]) -> String {
+    json_array(rows.iter().map(|r| {
+        format!(
+            "{{\"bench\": {}, \"device\": {}, \"size\": {}, \"speedup\": {}, \"lift_variant\": {}, \"lift_tiled\": {}}}",
+            json_str(&r.bench),
+            json_str(&r.device),
+            json_str(r.size),
+            json_f64(r.speedup),
+            json_str(&r.lift_variant),
+            r.lift_tiled
+        )
+    }))
+}
+
+/// Renders the ablation study as a JSON array.
+pub fn json_ablation(rows: &[AblationRow]) -> String {
+    json_array(rows.iter().map(|r| {
+        format!(
+            "{{\"bench\": {}, \"device\": {}, \"variant\": {}, \"gelems\": {}, \"rel_to_best\": {}}}",
+            json_str(&r.bench),
+            json_str(&r.device),
+            json_str(&r.variant),
+            json_f64(r.gelems),
+            json_f64(r.rel_to_best)
+        )
+    }))
+}
 
 /// Renders Table 1.
 pub fn render_table1(rows: &[Table1Row]) -> String {
@@ -83,10 +177,7 @@ pub fn render_ablation(rows: &[AblationRow]) -> String {
     keys.dedup();
     for (dev, bench) in keys {
         s.push_str(&format!("\n  [{dev}] {bench}\n"));
-        for r in rows
-            .iter()
-            .filter(|r| r.device == dev && r.bench == bench)
-        {
+        for r in rows.iter().filter(|r| r.device == dev && r.bench == bench) {
             let bar_len = (r.rel_to_best * 32.0).round() as usize;
             s.push_str(&format!(
                 "  {:<22}{:>9.4} GEl/s  {:<32} {:>5.1}%\n",
@@ -126,5 +217,39 @@ mod tests {
         assert!(out.contains("Stencil2D"));
         assert!(out.contains("Acoustic"));
         assert!(out.contains("4098×4098"));
+    }
+
+    #[test]
+    fn json_rendering_is_wellformed_enough() {
+        let rows = vec![Fig8Row {
+            bench: "Heat".into(),
+            device: "Nvidia Tesla K20c".into(),
+            size: "small",
+            speedup: 1.25,
+            lift_variant: "global".into(),
+            lift_tiled: false,
+        }];
+        let out = json_fig8(&rows);
+        assert!(out.trim_start().starts_with('['));
+        assert!(out.trim_end().ends_with(']'));
+        assert!(out.contains("\"speedup\": 1.25"));
+        assert!(out.contains("\"lift_tiled\": false"));
+        // Escaping.
+        assert_eq!(json_str("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        // Non-finite numbers must not produce invalid JSON.
+        assert_eq!(json_f64(f64::NAN), "null");
+    }
+
+    #[test]
+    fn json_table1_covers_every_benchmark() {
+        let rows = crate::experiments::table1();
+        let out = json_table1(&rows);
+        for b in lift_stencils::suite() {
+            assert!(
+                out.contains(&format!("\"bench\": \"{}\"", b.name)),
+                "{}",
+                b.name
+            );
+        }
     }
 }

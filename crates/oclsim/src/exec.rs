@@ -540,9 +540,11 @@ impl<'a> Machine<'a> {
             }
             None => {
                 // Private array.
-                let (slot, len) = self.priv_slots.get(&buf_id).copied().ok_or_else(|| {
-                    SimError::UnboundVariable(format!("buffer `{buf_name}`"))
-                })?;
+                let (slot, len) = self
+                    .priv_slots
+                    .get(&buf_id)
+                    .copied()
+                    .ok_or_else(|| SimError::UnboundVariable(format!("buffer `{buf_name}`")))?;
                 if index < 0 || index as usize >= len {
                     return Err(SimError::OutOfBounds {
                         buffer: buf_name.to_string(),
@@ -607,9 +609,11 @@ impl<'a> Machine<'a> {
                 Ok(())
             }
             None => {
-                let (slot, len) = self.priv_slots.get(&buf_id).copied().ok_or_else(|| {
-                    SimError::UnboundVariable(format!("buffer `{buf_name}`"))
-                })?;
+                let (slot, len) = self
+                    .priv_slots
+                    .get(&buf_id)
+                    .copied()
+                    .ok_or_else(|| SimError::UnboundVariable(format!("buffer `{buf_name}`")))?;
                 if index < 0 || index as usize >= len {
                     return Err(SimError::OutOfBounds {
                         buffer: buf_name.to_string(),
@@ -687,9 +691,7 @@ impl<'a> Machine<'a> {
 }
 
 fn active(mask: &[bool]) -> impl Iterator<Item = usize> + '_ {
-    mask.iter()
-        .enumerate()
-        .filter_map(|(i, &b)| b.then_some(i))
+    mask.iter().enumerate().filter_map(|(i, &b)| b.then_some(i))
 }
 
 fn coerce(v: V, ty: CType) -> V {

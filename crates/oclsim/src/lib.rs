@@ -30,6 +30,4 @@ pub mod runtime;
 pub use device::DeviceProfile;
 pub use exec::SimError;
 pub use perf::KernelStats;
-pub use runtime::{
-    BufferData, IteratedOutput, LaunchConfig, Rotation, RunOutput, VirtualDevice,
-};
+pub use runtime::{BufferData, IteratedOutput, LaunchConfig, Rotation, RunOutput, VirtualDevice};

@@ -111,8 +111,7 @@ impl KernelStats {
         // --- latency term -------------------------------------------------
         // Only transactions that actually reach DRAM pay the full round
         // trip; cache hits resolve quickly enough to be hidden.
-        let lat_cycles =
-            dram_transactions * dev.gmem_latency_cycles / (cus * warps_per_cu);
+        let lat_cycles = dram_transactions * dev.gmem_latency_cycles / (cus * warps_per_cu);
         let t_lat = lat_cycles / clock_hz;
 
         // --- barriers ------------------------------------------------------
@@ -181,10 +180,8 @@ mod tests {
 
         let nv = DeviceProfile::k20c();
         let amd = DeviceProfile::hd7970();
-        let speedup_nv =
-            redundant.model_time(&nv) / tiled.model_time(&nv);
-        let speedup_amd =
-            redundant.model_time(&amd) / tiled.model_time(&amd);
+        let speedup_nv = redundant.model_time(&nv) / tiled.model_time(&nv);
+        let speedup_amd = redundant.model_time(&amd) / tiled.model_time(&amd);
         assert!(
             speedup_nv > speedup_amd,
             "tiling should pay off more on the K20c ({speedup_nv:.2}x) than on the \

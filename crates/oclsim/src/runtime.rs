@@ -95,7 +95,10 @@ impl LaunchConfig {
 
     /// Three-dimensional launch.
     pub fn d3(g: [usize; 3], l: [usize; 3]) -> Self {
-        LaunchConfig { global: g, local: l }
+        LaunchConfig {
+            global: g,
+            local: l,
+        }
     }
 
     /// Work-groups per dimension.
@@ -115,9 +118,7 @@ impl LaunchConfig {
     fn validate(&self, dev: &DeviceProfile) -> Result<(), SimError> {
         for d in 0..3 {
             if self.local[d] == 0 || self.global[d] == 0 {
-                return Err(SimError::BadLaunch(format!(
-                    "zero size in dimension {d}"
-                )));
+                return Err(SimError::BadLaunch(format!("zero size in dimension {d}")));
             }
             if !self.global[d].is_multiple_of(self.local[d]) {
                 return Err(SimError::BadLaunch(format!(
@@ -371,7 +372,11 @@ mod tests {
         let kernel = jacobi3pt_lowered(64);
         let dev = VirtualDevice::new(DeviceProfile::k20c());
         let err = dev
-            .run(&kernel, &[vec![0.0f32; 64].into()], LaunchConfig::d1(60, 16))
+            .run(
+                &kernel,
+                &[vec![0.0f32; 64].into()],
+                LaunchConfig::d1(60, 16),
+            )
             .unwrap_err();
         assert!(matches!(err, SimError::BadLaunch(_)));
     }
@@ -381,7 +386,11 @@ mod tests {
         let kernel = jacobi3pt_lowered(64);
         let dev = VirtualDevice::new(DeviceProfile::k20c());
         let err = dev
-            .run(&kernel, &[vec![0.0f32; 63].into()], LaunchConfig::d1(64, 16))
+            .run(
+                &kernel,
+                &[vec![0.0f32; 63].into()],
+                LaunchConfig::d1(64, 16),
+            )
             .unwrap_err();
         assert!(matches!(err, SimError::BadLaunch(_)));
     }
@@ -440,12 +449,10 @@ mod tests {
         let iterated = lam(Type::array(Type::f32(), n), move |a| {
             iterate(steps, one_step, a)
         });
-        let expected = lift_core::eval::eval_fun(
-            &iterated,
-            &[lift_core::eval::DataValue::from_f32s(input)],
-        )
-        .expect("evaluates")
-        .flatten_f32();
+        let expected =
+            lift_core::eval::eval_fun(&iterated, &[lift_core::eval::DataValue::from_f32s(input)])
+                .expect("evaluates")
+                .flatten_f32();
         assert_eq!(stepped.output.as_f32(), expected.as_slice());
     }
 
@@ -454,13 +461,7 @@ mod tests {
         let kernel = jacobi3pt_lowered(8);
         let dev = VirtualDevice::new(DeviceProfile::k20c());
         let err = dev
-            .run_iterated(
-                &kernel,
-                &[],
-                LaunchConfig::d1(8, 4),
-                2,
-                Rotation::Leapfrog,
-            )
+            .run_iterated(&kernel, &[], LaunchConfig::d1(8, 4), 2, Rotation::Leapfrog)
             .expect_err("must fail");
         assert!(matches!(err, SimError::BadLaunch(_)));
     }
@@ -483,7 +484,11 @@ mod tests {
                 });
                 map_lcl(0, sum, slide(3, 1, copied))
             });
-            join(map_wrg(0, per_tile, slide(10, 8, pad(1, 1, Boundary::Clamp, a))))
+            join(map_wrg(
+                0,
+                per_tile,
+                slide(10, 8, pad(1, 1, Boundary::Clamp, a)),
+            ))
         });
         let kernel = compile_kernel("jacobi3pt_tiled", &prog).expect("compiles");
         let input: Vec<f32> = (0..n).map(|i| (i as f32) * 0.5).collect();

@@ -17,17 +17,20 @@ fn jacobi2d_lowered(rows: i64, cols: i64) -> FunDecl {
             let e = at2(1, 2, nbh);
             let sum = call(
                 &add_f32(),
-                [call(&add_f32(), [call(&add_f32(), [call(&add_f32(), [c, n]), s]), w]), e],
+                [
+                    call(
+                        &add_f32(),
+                        [call(&add_f32(), [call(&add_f32(), [c, n]), s]), w],
+                    ),
+                    e,
+                ],
             );
             call(&mul_f32(), [sum, Expr::f32(0.2)])
         });
         // map2 with explicit Glb lowering: rows → dim 1, cols → dim 0.
         let padded = pad2(1, 1, Boundary::Clamp, a);
         let nbhs = slide2(3, 1, padded);
-        let row_ty = Type::array(
-            Type::array_2d(Type::f32(), 3, 3),
-            cols,
-        );
+        let row_ty = Type::array(Type::array_2d(Type::f32(), 3, 3), cols);
         map_glb(1, lam(row_ty, move |row| map_glb(0, f, row)), nbhs)
     })
 }
@@ -53,7 +56,9 @@ fn jacobi2d_composed_from_1d_primitives_is_bit_exact() {
     let (rows, cols) = (24usize, 32usize);
     let prog = jacobi2d_lowered(rows as i64, cols as i64);
     let kernel = lift_codegen::compile_kernel("jacobi2d5pt", &prog).expect("compiles");
-    let input: Vec<f32> = (0..rows * cols).map(|i| ((i * 37) % 101) as f32 * 0.25).collect();
+    let input: Vec<f32> = (0..rows * cols)
+        .map(|i| ((i * 37) % 101) as f32 * 0.25)
+        .collect();
     for profile in DeviceProfile::all() {
         let dev = VirtualDevice::new(profile);
         let out = dev

@@ -63,8 +63,7 @@ impl std::error::Error for PpcgError {}
 /// Fails when the program is ill-typed or (for 2D) when the canonical
 /// stencil shape cannot be tiled.
 pub fn compile(prog: &FunDecl) -> Result<PpcgKernel, PpcgError> {
-    let out_ty =
-        typecheck_fun(prog).map_err(|e| PpcgError(format!("ill-typed program: {e}")))?;
+    let out_ty = typecheck_fun(prog).map_err(|e| PpcgError(format!("ill-typed program: {e}")))?;
     let dims = out_ty.dims();
     let body = match prog {
         FunDecl::Lambda(l) => &l.body,
@@ -79,9 +78,8 @@ pub fn compile(prog: &FunDecl) -> Result<PpcgKernel, PpcgError> {
         2 => {
             // Always tile + stage through shared memory.
             let ts = ArithExpr::var("TS");
-            let tiled = tile_anywhere(body, &ts, true).ok_or_else(|| {
-                PpcgError("2D stencil shape not recognised for tiling".into())
-            })?;
+            let tiled = tile_anywhere(body, &ts, true)
+                .ok_or_else(|| PpcgError("2D stencil shape not recognised for tiling".into()))?;
             let kinds = [
                 MapKind::Wrg(1),
                 MapKind::Wrg(0),
@@ -90,9 +88,8 @@ pub fn compile(prog: &FunDecl) -> Result<PpcgKernel, PpcgError> {
             ];
             let lowered = sequentialise(&lower_grid(&tiled, &kinds));
             // Tile-size legality needs the padded extents.
-            let info = stencil_extents(body).ok_or_else(|| {
-                PpcgError("could not determine stencil extents".into())
-            })?;
+            let info = stencil_extents(body)
+                .ok_or_else(|| PpcgError("could not determine stencil extents".into()))?;
             Ok(PpcgKernel {
                 strategy: "shared-memory tiling (2D)",
                 program: rebuild(lowered),
@@ -172,11 +169,7 @@ mod tests {
             });
             lift_core::ndim::map3(
                 f,
-                lift_core::ndim::slide3(
-                    3,
-                    1,
-                    lift_core::ndim::pad3(1, 1, Boundary::Clamp, a),
-                ),
+                lift_core::ndim::slide3(3, 1, lift_core::ndim::pad3(1, 1, Boundary::Clamp, a)),
             )
         })
     }
@@ -218,7 +211,9 @@ mod tests {
         let bound = bind_tunables(&variant, &[("TS".into(), 4)]).expect("valid tile");
         let data: Vec<f32> = (0..14 * 14).map(|i| (i % 7) as f32).collect();
         let input = DataValue::from_f32s_2d(&data, 14, 14);
-        let lhs = eval_fun(&prog, &[input.clone()]).unwrap().flatten_f32();
+        let lhs = eval_fun(&prog, std::slice::from_ref(&input))
+            .unwrap()
+            .flatten_f32();
         let rhs = eval_fun(&bound, &[input]).unwrap().flatten_f32();
         assert_eq!(lhs, rhs);
     }
@@ -245,7 +240,9 @@ mod tests {
         // And semantics are intact.
         let data: Vec<f32> = (0..512).map(|i| (i % 5) as f32).collect();
         let input = DataValue::from_f32s_3d(&data, 8, 8, 8);
-        let lhs = eval_fun(&heat3d(8), &[input.clone()]).unwrap().flatten_f32();
+        let lhs = eval_fun(&heat3d(8), std::slice::from_ref(&input))
+            .unwrap()
+            .flatten_f32();
         let rhs = eval_fun(&k.program, &[input]).unwrap().flatten_f32();
         assert_eq!(lhs, rhs);
     }

@@ -40,9 +40,7 @@ fn is_layout_expr(e: &Expr, param_id: u32) -> bool {
             if matches!(app.fun.as_pattern(), Some(Pattern::Zip { .. })) {
                 return app.args.iter().all(|a| is_layout_expr(a, param_id));
             }
-            app.args.len() == 1
-                && is_layout_fun(&app.fun)
-                && is_layout_expr(&app.args[0], param_id)
+            app.args.len() == 1 && is_layout_fun(&app.fun) && is_layout_expr(&app.args[0], param_id)
         }
     }
 }
@@ -67,7 +65,11 @@ pub fn lower_grid(e: &Expr, kinds: &[MapKind]) -> Expr {
             {
                 if is_layout_fun(f) {
                     // Pass through layout maps.
-                    let args = app.args.iter().map(|a| lower_grid(a, kinds)).collect::<Vec<_>>();
+                    let args = app
+                        .args
+                        .iter()
+                        .map(|a| lower_grid(a, kinds))
+                        .collect::<Vec<_>>();
                     return Expr::apply(app.fun.clone(), args);
                 }
                 let new_f = if kinds.len() > 1 {
@@ -84,7 +86,11 @@ pub fn lower_grid(e: &Expr, kinds: &[MapKind]) -> Expr {
                 );
             }
             // Other spine nodes (join, toLocal, …): descend into arguments.
-            let args = app.args.iter().map(|a| lower_grid(a, kinds)).collect::<Vec<_>>();
+            let args = app
+                .args
+                .iter()
+                .map(|a| lower_grid(a, kinds))
+                .collect::<Vec<_>>();
             Expr::apply(app.fun.clone(), args)
         }
         _ => e.clone(),
@@ -380,7 +386,7 @@ mod tests {
         let FunDecl::Lambda(l) = &prog else { panic!() };
         let coarse_prog = FunDecl::lambda(l.params.clone(), coarse);
         let input = lift_core::eval::DataValue::from_f32s((0..16).map(|i| i as f32));
-        let lhs = lift_core::eval::eval_fun(&prog, &[input.clone()]).unwrap();
+        let lhs = lift_core::eval::eval_fun(&prog, std::slice::from_ref(&input)).unwrap();
         let rhs = lift_core::eval::eval_fun(&coarse_prog, &[input]).unwrap();
         assert_eq!(lhs, rhs);
     }

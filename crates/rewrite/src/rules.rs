@@ -87,14 +87,11 @@ pub fn slide_decomposition(e: &Expr, tile: &ArithExpr) -> Option<Expr> {
     let in_ty = typecheck(input).ok()?;
     let (elem_ty, _) = in_ty.as_array()?;
     let tile_ty = Type::array(elem_ty.clone(), tile.clone());
-    let per_tile = lam(tile_ty, move |t| {
-        lift_core::build::slide(size, step, t)
-    });
-    Some(join(map(per_tile, lift_core::build::slide(
-        tile.clone(),
-        v,
-        input.clone(),
-    ))))
+    let per_tile = lam(tile_ty, move |t| lift_core::build::slide(size, step, t));
+    Some(join(map(
+        per_tile,
+        lift_core::build::slide(tile.clone(), v, input.clone()),
+    )))
 }
 
 /// **Overlapped tiling, 1D** (§4.1):
@@ -292,10 +289,7 @@ mod tests {
         });
         let FunDecl::Lambda(l) = &prog else { panic!() };
         let tiled_body = tile_anywhere(&l.body, &ArithExpr::from(5), false).expect("tiles");
-        assert_eq!(
-            typecheck(&l.body).unwrap(),
-            typecheck(&tiled_body).unwrap()
-        );
+        assert_eq!(typecheck(&l.body).unwrap(), typecheck(&tiled_body).unwrap());
         let tiled = FunDecl::lambda(l.params.clone(), tiled_body);
         let input = DataValue::from_f32s((0..18).map(|i| (i as f32) * 0.5 - 3.0));
         assert_eq!(run(&prog, input.clone()), run(&tiled, input));
@@ -317,10 +311,7 @@ mod tests {
         });
         let FunDecl::Lambda(l) = &prog else { panic!() };
         let tiled_body = tile_anywhere(&l.body, &ArithExpr::from(4), false).expect("tiles");
-        assert_eq!(
-            typecheck(&l.body).unwrap(),
-            typecheck(&tiled_body).unwrap()
-        );
+        assert_eq!(typecheck(&l.body).unwrap(), typecheck(&tiled_body).unwrap());
         let tiled = FunDecl::lambda(l.params.clone(), tiled_body);
         let data: Vec<f32> = (0..14 * 14).map(|i| ((i * 13) % 37) as f32).collect();
         let input = DataValue::from_f32s_2d(&data, 14, 14);
@@ -372,8 +363,7 @@ mod tests {
         // slide(3,1) = join ∘ map(slide(3,1)) ∘ slide(5,3) over length 20.
         let prog = stencil_prog_1d(20, |a| slide(3, 1, a));
         let FunDecl::Lambda(l) = &prog else { panic!() };
-        let rhs_body =
-            slide_decomposition(&l.body, &ArithExpr::from(5)).expect("decomposes");
+        let rhs_body = slide_decomposition(&l.body, &ArithExpr::from(5)).expect("decomposes");
         assert_eq!(typecheck(&l.body).unwrap(), typecheck(&rhs_body).unwrap());
         let rhs = FunDecl::lambda(l.params.clone(), rhs_body);
         let input = DataValue::from_f32s((0..20).map(|i| i as f32));

@@ -90,11 +90,7 @@ pub fn fun_is_transpose(f: &FunDecl) -> bool {
                 &app.args[0],
                 Expr::Param(p) if p.id() == l.params[0].id()
             );
-            arg_is_param
-                && matches!(
-                    app.fun.as_pattern(),
-                    Some(Pattern::Transpose)
-                )
+            arg_is_param && matches!(app.fun.as_pattern(), Some(Pattern::Transpose))
         }
         FunDecl::UserFun(_) => false,
     }

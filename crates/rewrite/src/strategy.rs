@@ -64,9 +64,7 @@ impl Tunable {
                 let v = value - halo;
                 value >= *nbh_size
                     && v > 0
-                    && lens
-                        .iter()
-                        .all(|l| value <= *l && (*l - value) % v == 0)
+                    && lens.iter().all(|l| value <= *l && (*l - value) % v == 0)
             }
             Tunable::CoarsenFactor { len, .. } => value >= 1 && len % value == 0,
         }
@@ -161,11 +159,7 @@ pub fn enumerate_variants(prog: &FunDecl) -> Vec<Variant> {
         let mut kinds = glb_kinds(dims);
         kinds.push(MapKind::Seq);
         let lowered = unroll(&sequentialise(&lower_grid(&coarse, &kinds)), UNROLL_LIMIT);
-        let innermost_len = out_ty
-            .shape()
-            .last()
-            .and_then(|n| n.as_cst())
-            .unwrap_or(0);
+        let innermost_len = out_ty.shape().last().and_then(|n| n.as_cst()).unwrap_or(0);
         if innermost_len > 0 {
             variants.push(Variant {
                 name: "coarsened".into(),
@@ -244,8 +238,12 @@ fn find_tile_info(body: &Expr) -> Option<TileInfo> {
         if let Some(st) = match_stencil_2d(node) {
             if let (Some(n), Some(s)) = (st.size.as_cst(), st.step.as_cst()) {
                 if let Ok(t) = typecheck(&st.input) {
-                    let lens: Vec<i64> =
-                        t.shape().iter().take(2).filter_map(ArithExpr::as_cst).collect();
+                    let lens: Vec<i64> = t
+                        .shape()
+                        .iter()
+                        .take(2)
+                        .filter_map(ArithExpr::as_cst)
+                        .collect();
                     if lens.len() == 2 {
                         result = Some(TileInfo {
                             dims: 2,
@@ -278,19 +276,14 @@ fn find_tile_info(body: &Expr) -> Option<TileInfo> {
 
 /// Binds a variant's tunables and returns the concrete program, or `None`
 /// if any value is invalid.
-pub fn bind_tunables(
-    variant: &Variant,
-    values: &[(String, i64)],
-) -> Option<FunDecl> {
+pub fn bind_tunables(variant: &Variant, values: &[(String, i64)]) -> Option<FunDecl> {
     for t in &variant.tunables {
         let v = values.iter().find(|(n, _)| n == t.var())?.1;
         if !t.is_valid(v) {
             return None;
         }
     }
-    let bindings = lift_arith::Bindings::from_iter(
-        values.iter().map(|(n, v)| (n.as_str(), *v)),
-    );
+    let bindings = lift_arith::Bindings::from_iter(values.iter().map(|(n, v)| (n.as_str(), *v)));
     Some(lift_codegen_substitute(&variant.program, &bindings))
 }
 

@@ -58,7 +58,16 @@ pub fn jacobi5_uf() -> Arc<UserFun> {
         ],
         Type::f32(),
         "return 0.2f * (c + n + s + w + e);",
-        |a| Scalar::F32(0.2f32 * (a[0].as_f32() + a[1].as_f32() + a[2].as_f32() + a[3].as_f32() + a[4].as_f32())),
+        |a| {
+            Scalar::F32(
+                0.2f32
+                    * (a[0].as_f32()
+                        + a[1].as_f32()
+                        + a[2].as_f32()
+                        + a[3].as_f32()
+                        + a[4].as_f32()),
+            )
+        },
     )
 }
 
@@ -157,11 +166,7 @@ pub fn gauss_weight_uf() -> Arc<UserFun> {
 pub fn wadd_uf() -> Arc<UserFun> {
     UserFun::new(
         "wadd",
-        [
-            ("acc", Type::f32()),
-            ("w", Type::f32()),
-            ("x", Type::f32()),
-        ],
+        [("acc", Type::f32()), ("w", Type::f32()), ("x", Type::f32())],
         Type::f32(),
         "return acc + w * x;",
         |a| Scalar::F32(a[0].as_f32() + a[1].as_f32() * a[2].as_f32()),
@@ -291,7 +296,8 @@ pub fn stencil9_uf() -> Arc<UserFun> {
         |a| {
             let v: Vec<f32> = a.iter().map(|s| s.as_f32()).collect();
             Scalar::F32(
-                0.25f32 * v[0] + 0.15f32 * (v[1] + v[2] + v[3] + v[4])
+                0.25f32 * v[0]
+                    + 0.15f32 * (v[1] + v[2] + v[3] + v[4])
                     + 0.05f32 * (v[5] + v[6] + v[7] + v[8]),
             )
         },
@@ -372,8 +378,13 @@ pub fn srad1_uf() -> Arc<UserFun> {
          float cf = 1.0f / (1.0f + d); \
          return cf < 0.0f ? 0.0f : (cf > 1.0f ? 1.0f : cf);",
         |a| {
-            let (c, n, s, w, e) =
-                (a[0].as_f32(), a[1].as_f32(), a[2].as_f32(), a[3].as_f32(), a[4].as_f32());
+            let (c, n, s, w, e) = (
+                a[0].as_f32(),
+                a[1].as_f32(),
+                a[2].as_f32(),
+                a[3].as_f32(),
+                a[4].as_f32(),
+            );
             let (dn, ds, dw, de) = (n - c, s - c, w - c, e - c);
             let g2 = (dn * dn + ds * ds + dw * dw + de * de) / (c * c);
             let l = (dn + ds + dw + de) / c;
@@ -451,8 +462,7 @@ pub fn srad2_uf() -> Arc<UserFun> {
          return jc + 0.125f * div;",
         |a| {
             let v: Vec<f32> = a.iter().map(|s| s.as_f32()).collect();
-            let (jc, jn, js, jw, je, cc, cs, ce) =
-                (v[0], v[1], v[2], v[3], v[4], v[5], v[6], v[7]);
+            let (jc, jn, js, jw, je, cc, cs, ce) = (v[0], v[1], v[2], v[3], v[4], v[5], v[6], v[7]);
             let (dn, ds, dw, de) = (jn - jc, js - jc, jw - jc, je - jc);
             let div = cs * ds + cc * dn + ce * de + cc * dw;
             Scalar::F32(jc + 0.125 * div)
@@ -538,8 +548,7 @@ pub fn hotspot2d_uf() -> Arc<UserFun> {
             let v: Vec<f32> = a.iter().map(|s| s.as_f32()).collect();
             let (p, c, n, s, w, e) = (v[0], v[1], v[2], v[3], v[4], v[5]);
             let delta = 0.001f32
-                * (p + 0.1 * (n + s - 2.0 * c) + 0.1 * (w + e - 2.0 * c)
-                    + 0.05 * (80.0 - c));
+                * (p + 0.1 * (n + s - 2.0 * c) + 0.1 * (w + e - 2.0 * c) + 0.05 * (80.0 - c));
             Scalar::F32(c + delta)
         },
     )
@@ -549,26 +558,32 @@ fn hotspot2d_builder(sizes: &[usize]) -> FunDecl {
     let (rows, cols) = (sizes[0], sizes[1]);
     let uf = hotspot2d_uf();
     let grid_ty = Type::array_2d(Type::f32(), rows, cols);
-    lam2_named("temp", grid_ty.clone(), "power", grid_ty, move |t_grid, p_grid| {
-        let t_nbhs = slide2(3, 1, pad2(1, 1, Boundary::Clamp, t_grid));
-        let tup = Type::Tuple(vec![Type::f32(), nbh33()]);
-        let f = lam(tup, move |t| {
-            let p = get(0, t.clone());
-            let nb = get(1, t);
-            call(
-                &uf,
-                [
-                    p,
-                    at2(1, 1, nb.clone()),
-                    at2(0, 1, nb.clone()),
-                    at2(2, 1, nb.clone()),
-                    at2(1, 0, nb.clone()),
-                    at2(1, 2, nb),
-                ],
-            )
-        });
-        map2(f, zip2_2d(p_grid, t_nbhs))
-    })
+    lam2_named(
+        "temp",
+        grid_ty.clone(),
+        "power",
+        grid_ty,
+        move |t_grid, p_grid| {
+            let t_nbhs = slide2(3, 1, pad2(1, 1, Boundary::Clamp, t_grid));
+            let tup = Type::Tuple(vec![Type::f32(), nbh33()]);
+            let f = lam(tup, move |t| {
+                let p = get(0, t.clone());
+                let nb = get(1, t);
+                call(
+                    &uf,
+                    [
+                        p,
+                        at2(1, 1, nb.clone()),
+                        at2(0, 1, nb.clone()),
+                        at2(2, 1, nb.clone()),
+                        at2(1, 0, nb.clone()),
+                        at2(1, 2, nb),
+                    ],
+                )
+            });
+            map2(f, zip2_2d(p_grid, t_nbhs))
+        },
+    )
 }
 
 fn hotspot2d_reference(inputs: &[Vec<f32>], sizes: &[usize]) -> Vec<f32> {

@@ -69,8 +69,7 @@ fn faces(nbh: &Expr) -> [Expr; 7] {
 pub fn jacobi7_uf() -> Arc<UserFun> {
     UserFun::new(
         "jacobi7",
-        ["c", "a0", "a1", "a2", "a3", "a4", "a5"]
-            .map(|n| (n, Type::f32())),
+        ["c", "a0", "a1", "a2", "a3", "a4", "a5"].map(|n| (n, Type::f32())),
         Type::f32(),
         "return (c + a0 + a1 + a2 + a3 + a4 + a5) / 7.0f;",
         |a| {
@@ -254,8 +253,11 @@ fn poisson_reference(inputs: &[Vec<f32>], sizes: &[usize]) -> Vec<f32> {
             for x in 0..nx as i64 {
                 let mut acc = 0.0f32;
                 for k in 0..27i32 {
-                    let (dz, dy, dx) =
-                        ((k / 9) as i64 - 1, ((k % 9) / 3) as i64 - 1, (k % 3) as i64 - 1);
+                    let (dz, dy, dx) = (
+                        (k / 9) as i64 - 1,
+                        ((k % 9) / 3) as i64 - 1,
+                        (k % 3) as i64 - 1,
+                    );
                     let w = puf.call(&[Scalar::I32(k), Scalar::I32(27)]).as_f32();
                     let v = g3(a, z + dz, y + dy, x + dx, nz, ny, nx);
                     acc = wuf.call(&f32s(&[acc, w, v])).as_f32();
@@ -275,8 +277,7 @@ fn poisson_reference(inputs: &[Vec<f32>], sizes: &[usize]) -> Vec<f32> {
 pub fn heat_uf() -> Arc<UserFun> {
     UserFun::new(
         "heat7",
-        ["c", "a0", "a1", "a2", "a3", "a4", "a5"]
-            .map(|n| (n, Type::f32())),
+        ["c", "a0", "a1", "a2", "a3", "a4", "a5"].map(|n| (n, Type::f32())),
         Type::f32(),
         "return c + 0.125f * (a0 + a1 + a2 + a3 + a4 + a5 - 6.0f * c);",
         |a| {
@@ -333,8 +334,7 @@ fn heat_reference(inputs: &[Vec<f32>], sizes: &[usize]) -> Vec<f32> {
 pub fn hotspot3d_uf() -> Arc<UserFun> {
     UserFun::new(
         "hotspot3d",
-        ["p", "c", "a0", "a1", "a2", "a3", "a4", "a5"]
-            .map(|n| (n, Type::f32())),
+        ["p", "c", "a0", "a1", "a2", "a3", "a4", "a5"].map(|n| (n, Type::f32())),
         Type::f32(),
         "float delta = 0.001f * (p + 0.1f*(a0 + a1 + a2 + a3 + a4 + a5 - 6.0f*c) \
          + 0.05f*(80.0f - c)); \
@@ -476,10 +476,7 @@ fn acoustic_builder(sizes: &[usize]) -> FunDecl {
                         [
                             call(
                                 &add_f32(),
-                                [
-                                    call(&add_f32(), [call(&add_f32(), [a0, a1]), a2]),
-                                    a3,
-                                ],
+                                [call(&add_f32(), [call(&add_f32(), [a0, a1]), a2]), a3],
                             ),
                             a4,
                         ],

@@ -33,6 +33,7 @@ pub enum Figure {
 }
 
 /// One Table-1 benchmark.
+#[derive(Clone)]
 pub struct Benchmark {
     /// Benchmark name as printed in the paper.
     pub name: &'static str,
@@ -92,7 +93,9 @@ impl Benchmark {
 
     /// The size to run, honouring `LIFT_FULL_SIZES`.
     pub fn size(&self, large: bool) -> Vec<usize> {
-        let full = std::env::var("LIFT_FULL_SIZES").map(|v| v == "1").unwrap_or(false);
+        let full = std::env::var("LIFT_FULL_SIZES")
+            .map(|v| v == "1")
+            .unwrap_or(false);
         let pick = |s: &'static [usize], p: &'static [usize]| {
             if full {
                 p.to_vec()
@@ -166,7 +169,7 @@ mod tests {
     fn tiny(sizes: &[usize]) -> Vec<usize> {
         // Shrink any benchmark to an evaluator-friendly size (keep ≥ 6 so
         // every neighbourhood fits, keep proportions crudely).
-        sizes.iter().map(|s| (*s).min(10).max(6)).collect()
+        sizes.iter().map(|s| (*s).clamp(6, 10)).collect()
     }
 
     fn as_data(input: &[f32], sizes: &[usize]) -> DataValue {
@@ -217,17 +220,11 @@ mod tests {
             let inputs = b.gen_inputs(&sizes, 42);
             let golden = b.golden(&inputs, &sizes);
             let prog = b.program(&sizes);
-            let args: Vec<DataValue> =
-                inputs.iter().map(|i| as_data(i, &sizes)).collect();
+            let args: Vec<DataValue> = inputs.iter().map(|i| as_data(i, &sizes)).collect();
             let out = eval_fun(&prog, &args)
                 .unwrap_or_else(|e| panic!("{} does not evaluate: {e}", b.name));
             let got = out.flatten_f32();
-            assert_eq!(
-                got.len(),
-                golden.len(),
-                "{}: wrong output size",
-                b.name
-            );
+            assert_eq!(got.len(), golden.len(), "{}: wrong output size", b.name);
             for (i, (a, c)) in got.iter().zip(&golden).enumerate() {
                 assert!(
                     (a - c).abs() <= 1e-4 * c.abs().max(1.0),

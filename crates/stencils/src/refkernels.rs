@@ -11,8 +11,7 @@
 //! it fast on the GPU it was written for and slow elsewhere (§7.1).
 
 use lift_codegen::clike::{
-    AddressSpace, BinOp, CExpr, CStmt, CType, Kernel, KernelParam, LocalBuffer, VarRef,
-    WorkItemFn,
+    AddressSpace, BinOp, CExpr, CStmt, CType, Kernel, KernelParam, LocalBuffer, VarRef, WorkItemFn,
 };
 use lift_codegen::compile_kernel;
 
@@ -128,9 +127,8 @@ fn hotspot2d_manual(sizes: &[usize]) -> RefKernel {
     let bidy = || CExpr::WorkItem(WorkItemFn::GroupId, 1);
     let int = |v: i64| CExpr::Int(v);
     let var = |v: &VarRef| CExpr::Var(v.clone());
-    let clamp = |e: CExpr, hi: usize| {
-        CExpr::min(CExpr::max(e, CExpr::Int(0)), CExpr::Int(hi as i64 - 1))
-    };
+    let clamp =
+        |e: CExpr, hi: usize| CExpr::min(CExpr::max(e, CExpr::Int(0)), CExpr::Int(hi as i64 - 1));
     let lt = |a: CExpr, b: CExpr| CExpr::Bin(BinOp::Lt, Box::new(a), Box::new(b));
     let ge = |a: CExpr, b: CExpr| CExpr::Bin(BinOp::Ge, Box::new(a), Box::new(b));
     let and = |a: CExpr, b: CExpr| CExpr::Bin(BinOp::And, Box::new(a), Box::new(b));
@@ -214,14 +212,8 @@ fn hotspot2d_manual(sizes: &[usize]) -> RefKernel {
         ),
     );
     let in_range = and(
-        and(
-            ge(var(&raw_i), int(0)),
-            lt(var(&raw_i), int(rows as i64)),
-        ),
-        and(
-            ge(var(&raw_j), int(0)),
-            lt(var(&raw_j), int(cols as i64)),
-        ),
+        and(ge(var(&raw_i), int(0)), lt(var(&raw_i), int(rows as i64))),
+        and(ge(var(&raw_j), int(0)), lt(var(&raw_j), int(cols as i64))),
     );
     let compute = CStmt::If {
         cond: and(interior, in_range),

@@ -30,8 +30,9 @@
 //! assert_eq!(best.values, vec![12, 4]);
 //! ```
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+pub mod rng;
+
+pub use rng::SplitMix64;
 
 /// One tunable parameter with its candidate values.
 #[derive(Debug, Clone)]
@@ -58,12 +59,24 @@ impl ParamSpec {
 
     /// Powers of two from `lo` to `hi` inclusive — the usual domain for
     /// work-group sizes.
+    ///
+    /// The domain is never empty: when `hi < lo` (e.g. a device whose
+    /// work-group limit sits below the requested lower bound) it degrades to
+    /// the largest power of two not exceeding `hi`, clamped to at least 1,
+    /// instead of tripping the [`ParamSpec::new`] assertion at runtime.
     pub fn pow2(name: impl Into<String>, lo: i64, hi: i64) -> Self {
         let mut c = Vec::new();
         let mut v = lo.max(1);
         while v <= hi {
             c.push(v);
             v *= 2;
+        }
+        if c.is_empty() {
+            let mut v = 1i64;
+            while v * 2 <= hi.max(1) {
+                v *= 2;
+            }
+            c.push(v);
         }
         ParamSpec::new(name, c)
     }
@@ -108,10 +121,7 @@ impl ParamSpace {
     }
 
     /// Adds a constraint (may be called repeatedly).
-    pub fn with_constraint(
-        mut self,
-        c: impl Fn(&[i64]) -> bool + Send + Sync + 'static,
-    ) -> Self {
+    pub fn with_constraint(mut self, c: impl Fn(&[i64]) -> bool + Send + Sync + 'static) -> Self {
         self.constraints.push(Box::new(c));
         self
     }
@@ -216,21 +226,20 @@ impl Tuner {
         let mut best: Option<Candidate> = None;
         let mut evaluations = 0usize;
 
-        let consider =
-            |cfg: Vec<i64>,
-             evaluations: &mut usize,
-             trace: &mut Vec<Candidate>,
-             best: &mut Option<Candidate>,
-             eval: &mut dyn FnMut(&[i64]) -> Option<f64>| {
-                *evaluations += 1;
-                if let Some(score) = eval(&cfg) {
-                    let cand = Candidate { values: cfg, score };
-                    if best.as_ref().is_none_or(|b| cand.score < b.score) {
-                        *best = Some(cand.clone());
-                    }
-                    trace.push(cand);
+        let consider = |cfg: Vec<i64>,
+                        evaluations: &mut usize,
+                        trace: &mut Vec<Candidate>,
+                        best: &mut Option<Candidate>,
+                        eval: &mut dyn FnMut(&[i64]) -> Option<f64>| {
+            *evaluations += 1;
+            if let Some(score) = eval(&cfg) {
+                let cand = Candidate { values: cfg, score };
+                if best.as_ref().is_none_or(|b| cand.score < b.score) {
+                    *best = Some(cand.clone());
                 }
-            };
+                trace.push(cand);
+            }
+        };
 
         if self.space.cardinality() <= self.budget {
             // Exhaustive.
@@ -247,13 +256,13 @@ impl Tuner {
             };
         }
 
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rng = SplitMix64::new(self.seed);
         let sample_budget = (self.budget * 3) / 4;
         let mut seen = std::collections::HashSet::new();
         let mut attempts = 0;
         while evaluations < sample_budget && attempts < self.budget * 20 {
             attempts += 1;
-            let idx = rng.gen_range(0..self.space.cardinality());
+            let idx = rng.gen_range(self.space.cardinality());
             let cfg = self.space.nth(idx);
             if !self.space.satisfies(&cfg) || !seen.insert(cfg.clone()) {
                 continue;
@@ -276,7 +285,9 @@ impl Tuner {
                     if evaluations >= self.budget {
                         break 'outer;
                     }
-                    let Some(v) = p.candidates.get(np) else { continue };
+                    let Some(v) = p.candidates.get(np) else {
+                        continue;
+                    };
                     let mut cfg = incumbent.values.clone();
                     cfg[pi] = *v;
                     if !self.space.satisfies(&cfg) || !seen.insert(cfg.clone()) {
@@ -396,5 +407,20 @@ mod tests {
     #[should_panic(expected = "no candidate values")]
     fn empty_domain_panics() {
         ParamSpec::new("x", vec![]);
+    }
+
+    #[test]
+    fn pow2_inverted_range_degrades_instead_of_panicking() {
+        // A device with max_wg < lo used to produce an empty candidate list
+        // and trip the ParamSpec::new assertion.
+        let p = ParamSpec::pow2("lx", 32, 16);
+        assert_eq!(p.candidates(), &[16]);
+        let p = ParamSpec::pow2("lx", 32, 1);
+        assert_eq!(p.candidates(), &[1]);
+        let p = ParamSpec::pow2("lx", 8, 0);
+        assert_eq!(p.candidates(), &[1]);
+        // Non-power-of-two upper bound: largest pow2 below it.
+        let p = ParamSpec::pow2("lx", 64, 24);
+        assert_eq!(p.candidates(), &[16]);
     }
 }

@@ -3,57 +3,43 @@
 //! iteration per kernel; time stepping swaps buffers between launches).
 //!
 //! A pressure impulse is placed in the middle of the room; the example runs
-//! several leapfrog steps on the virtual GPU and tracks the wavefront.
+//! several leapfrog steps on the virtual GPU via the pipeline's
+//! `run_iterated` and tracks the wavefront.
 //!
 //! ```text
 //! cargo run --release --example acoustic_room
 //! ```
 
-use lift::lift_codegen::compile_kernel;
-use lift::lift_oclsim::{BufferData, DeviceProfile, LaunchConfig, VirtualDevice};
-use lift::lift_stencils::by_name;
+use lift::lift_oclsim::{BufferData, DeviceProfile, Rotation, VirtualDevice};
+use lift::{LiftError, Pipeline};
 
-fn main() {
-    let bench = by_name("Acoustic");
+fn main() -> Result<(), LiftError> {
     let sizes = [16usize, 24, 24];
     let (nz, ny, nx) = (sizes[0], sizes[1], sizes[2]);
 
     // Lower the §3.5 expression (zip3 of point grid, slide3 neighbourhoods
-    // and the generated neighbour-count mask) to a global kernel.
-    let prog = bench.program(&sizes);
-    let variants = lift::lift_rewrite::enumerate_variants(&prog);
-    let lowered = &variants
-        .iter()
-        .find(|v| v.name == "global-unroll")
-        .expect("variant exists")
-        .program;
-    let kernel = compile_kernel("acoustic", lowered).expect("compiles");
+    // and the generated neighbour-count mask) to an unrolled global kernel.
+    let dev = VirtualDevice::new(DeviceProfile::k20c());
+    let kernel = Pipeline::for_benchmark("Acoustic", &sizes)?
+        .explore()?
+        .on(&dev)
+        .with_config("global-unroll", &[("lx", 8), ("ly", 4), ("lz", 1)])?;
     println!(
         "acoustic kernel: {} lines of OpenCL",
-        kernel.to_source().lines().count()
+        kernel.source().lines().count()
     );
 
     // Impulse in the middle of the room.
-    let mut prev = vec![0.0f32; nz * ny * nx];
+    let prev = vec![0.0f32; nz * ny * nx];
     let mut cur = vec![0.0f32; nz * ny * nx];
     cur[(nz / 2 * ny + ny / 2) * nx + nx / 2] = 1.0;
 
-    let dev = VirtualDevice::new(DeviceProfile::k20c());
-    let launch = LaunchConfig::d3([nx, ny, nz], [8, 4, 1]);
-
     println!("\nstep |   energy   | wavefront radius (cells)");
+    let mut state = [BufferData::F32(prev), BufferData::F32(cur)];
     let mut total_time = 0.0;
     for step in 0..8 {
-        let out = dev
-            .run(
-                &kernel,
-                &[
-                    BufferData::F32(prev.clone()),
-                    BufferData::F32(cur.clone()),
-                ],
-                launch,
-            )
-            .expect("runs");
+        // One leapfrog step per launch; the runtime rotates prev/cur.
+        let out = kernel.run_iterated(&state, 1, Rotation::Leapfrog)?;
         total_time += out.time_s;
         let next = out.output.as_f32().to_vec();
 
@@ -76,14 +62,14 @@ fn main() {
         }
         println!("{step:>4} | {energy:>10.4e} | {radius:>6.2}");
 
-        prev = cur;
-        cur = next;
+        state = [state[1].clone(), BufferData::F32(next)];
     }
     println!(
         "\n8 steps on the virtual {} took {:.2} us (modeled kernel time)",
-        dev.profile().name,
+        kernel.device().profile().name,
         total_time * 1e6
     );
     println!("The wavefront expands roughly one cell per step: the 7-point");
     println!("leapfrog update propagates pressure to face neighbours only.");
+    Ok(())
 }

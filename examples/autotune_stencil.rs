@@ -6,24 +6,26 @@
 //! cargo run --release --example autotune_stencil
 //! ```
 
-use lift::lift_harness::tune_lift;
 use lift::lift_oclsim::{DeviceProfile, VirtualDevice};
-use lift::lift_stencils::by_name;
+use lift::{Budget, LiftError, Pipeline};
 
-fn main() {
-    let bench = by_name("Jacobi2D5pt");
-    let sizes = [66usize, 66];
+fn main() -> Result<(), LiftError> {
+    let (name, sizes) = ("Jacobi2D5pt", [66usize, 66]);
     println!(
         "exploring + tuning {} at {}x{} on three devices\n",
-        bench.name, sizes[0], sizes[1]
+        name, sizes[0], sizes[1]
     );
 
     for profile in DeviceProfile::all() {
         let dev = VirtualDevice::new(profile);
-        let result = tune_lift(&bench, &sizes, &dev, 12, 42);
+        let outcome = Pipeline::for_benchmark(name, &sizes)?
+            .explore()?
+            .on(&dev)
+            .tune_full(Budget::evaluations(12).with_seed(42))?;
+        let report = &outcome.report;
         println!("[{}]", dev.profile().name);
-        for v in &result.all {
-            let marker = if v.name == result.winner.name {
+        for v in &report.all {
+            let marker = if v.name == report.winner.name {
                 " <== winner"
             } else {
                 ""
@@ -41,8 +43,8 @@ fn main() {
         }
         println!(
             "  -> best: {} ({})\n",
-            result.winner.name,
-            if result.winner.tiled {
+            outcome.winner.variant(),
+            if outcome.winner.tiled() {
                 "uses overlapped tiling"
             } else {
                 "no tiling"
@@ -51,4 +53,5 @@ fn main() {
     }
     println!("Different devices pick different rewrite derivations — this is");
     println!("what the paper means by performance portability (§4, §7.2).");
+    Ok(())
 }

@@ -1,15 +1,16 @@
 //! Quickstart: the paper's Listing 2 — a 3-point Jacobi stencil — from
-//! high-level expression to executed OpenCL kernel.
+//! high-level expression to executed OpenCL kernel, through the staged
+//! `Pipeline` session API.
 //!
 //! ```text
 //! cargo run --example quickstart
 //! ```
 
-use lift::lift_codegen::compile_kernel;
 use lift::lift_core::prelude::*;
-use lift::lift_oclsim::{DeviceProfile, LaunchConfig, VirtualDevice};
+use lift::lift_oclsim::{DeviceProfile, VirtualDevice};
+use lift::{KernelCache, LiftError, Pipeline};
 
-fn main() {
+fn main() -> Result<(), LiftError> {
     let n = 32usize;
 
     // Listing 2 of the paper:
@@ -21,36 +22,30 @@ fn main() {
         map(sum_nbh, slide(3, 1, pad(1, 1, Boundary::Clamp, a)))
     });
 
+    // Stage 1: a type-checked program.
+    let pipeline = Pipeline::new(stencil)?;
     println!("== The high-level Lift expression ==");
-    if let FunDecl::Lambda(l) = &stencil {
+    if let FunDecl::Lambda(l) = pipeline.program() {
         println!("fun(A => {})\n", l.body);
     }
-    println!(
-        "type: {}\n",
-        typecheck_fun(&stencil).expect("Listing 2 typechecks")
-    );
+    println!("type: {}\n", pipeline.output_type());
 
-    // Lower `map` onto global work-items and `reduce` to a sequential loop
-    // (this is what the rewrite-based exploration does automatically; see
-    // examples/autotune_stencil.rs).
-    let variants = lift::lift_rewrite::enumerate_variants(&stencil);
-    let lowered = &variants
-        .iter()
-        .find(|v| v.name == "global")
-        .expect("global variant")
-        .program;
+    // Stage 2: rewrite-based exploration derives the implementation space
+    // (`map` onto global work-items, ± tiling, ± local memory, …).
+    let variants = pipeline.explore()?;
+    println!("== Derived variants ==");
+    println!("{:?}\n", variants.names());
 
-    // Generate OpenCL C.
-    let kernel = compile_kernel("jacobi3pt", lowered).expect("compiles");
+    // Stage 3+4: fix the device, pick the plain global lowering with an
+    // 8-wide work-group (`.tune(Budget::default())` would search instead).
+    let device = VirtualDevice::new(DeviceProfile::k20c());
+    let compiled = variants.on(&device).with_config("global", &[("lx", 8)])?;
     println!("== Generated OpenCL (pad/slide became pure index math) ==");
-    println!("{}", kernel.to_source());
+    println!("{}", compiled.source());
 
     // Execute on the virtual K20c and validate against a direct loop.
     let input: Vec<f32> = (0..n).map(|i| (i as f32 * 0.3).sin()).collect();
-    let dev = VirtualDevice::new(DeviceProfile::k20c());
-    let out = dev
-        .run(&kernel, &[input.clone().into()], LaunchConfig::d1(n, 8))
-        .expect("kernel runs");
+    let out = compiled.run(&[input.clone().into()])?;
 
     let expected: Vec<f32> = (0..n as i64)
         .map(|i| {
@@ -60,10 +55,18 @@ fn main() {
         .collect();
     assert_eq!(out.output.as_f32(), expected.as_slice(), "bit-exact");
 
-    println!("== Execution on the virtual {} ==", dev.profile().name);
+    println!(
+        "== Execution on the virtual {} ==",
+        compiled.device().profile().name
+    );
     println!("output[0..6]  = {:?}", &out.output.as_f32()[..6]);
     println!("global loads  = {}", out.stats.global_loads);
     println!("transactions  = {}", out.stats.transactions());
     println!("modeled time  = {:.3} us", out.time_s * 1e6);
+    println!(
+        "kernel cache  = {:?} (a second identical session would hit, not compile)",
+        KernelCache::global().stats()
+    );
     println!("\nOK: generated kernel matches the reference bit-exactly.");
+    Ok(())
 }

@@ -35,11 +35,18 @@ fn main() {
 
     // Prove semantic preservation on concrete data.
     let input = DataValue::from_f32s((0..n).map(|i| (i as f32) - 7.5));
-    let before = eval_fun(&prog, std::slice::from_ref(&input)).unwrap().flatten_f32();
+    let before = eval_fun(&prog, std::slice::from_ref(&input))
+        .unwrap()
+        .flatten_f32();
     let tiled_prog = FunDecl::lambda(l.params.clone(), tiled);
-    let after = eval_fun(&tiled_prog, std::slice::from_ref(&input)).unwrap().flatten_f32();
+    let after = eval_fun(&tiled_prog, std::slice::from_ref(&input))
+        .unwrap()
+        .flatten_f32();
     assert_eq!(before, after);
-    println!("evaluator check: both sides produce {:?}...\n", &before[..4]);
+    println!(
+        "evaluator check: both sides produce {:?}...\n",
+        &before[..4]
+    );
 
     // A second rule: classic map fusion.
     let double = lam(Type::f32(), |x| call(&add_f32(), [x.clone(), x]));

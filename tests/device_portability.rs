@@ -2,21 +2,30 @@
 //! the same program runs everywhere, and device traits steer the tuner to
 //! different implementations (§7.2 of the paper).
 
-use lift::lift_harness::tune_lift;
 use lift::lift_oclsim::{DeviceProfile, VirtualDevice};
-use lift::lift_stencils::by_name;
+use lift::{BenchResult, Budget, Pipeline};
+
+fn tune(name: &str, sizes: &[usize], dev: &VirtualDevice, evals: usize, seed: u64) -> BenchResult {
+    Pipeline::for_benchmark(name, sizes)
+        .expect("benchmark exists")
+        .explore()
+        .expect("explores")
+        .on(dev)
+        .tune_full(Budget::evaluations(evals).with_seed(seed))
+        .expect("tunes")
+        .report
+}
 
 /// A 2D stencil with a tiling-friendly size: each device must find a valid
 /// winner, and the winner's throughput ordering must follow the hardware
 /// (K20c and HD 7970 far above Mali).
 #[test]
 fn winners_run_everywhere_and_scale_with_hardware() {
-    let bench = by_name("Jacobi2D5pt");
     let sizes = [34usize, 34]; // padded 36: several valid tile sizes
     let mut rates = Vec::new();
     for profile in DeviceProfile::all() {
         let dev = VirtualDevice::new(profile);
-        let r = tune_lift(&bench, &sizes, &dev, 6, 3);
+        let r = tune("Jacobi2D5pt", &sizes, &dev, 6, 3);
         assert!(r.winner.gelems_per_s > 0.0);
         rates.push((r.device.clone(), r.winner.gelems_per_s));
     }
@@ -32,10 +41,9 @@ fn winners_run_everywhere_and_scale_with_hardware() {
 /// no hardware local memory, so `toLocal` is pure overhead there.
 #[test]
 fn mali_never_prefers_local_memory() {
-    let bench = by_name("Jacobi2D5pt");
     let sizes = [34usize, 34];
     let dev = VirtualDevice::new(DeviceProfile::mali_t628());
-    let r = tune_lift(&bench, &sizes, &dev, 8, 7);
+    let r = tune("Jacobi2D5pt", &sizes, &dev, 8, 7);
     assert!(
         !r.winner.local_mem,
         "Mali winner must not stage through local memory, got {}",
@@ -62,27 +70,26 @@ fn mali_never_prefers_local_memory() {
 /// time per element on the same device (sanity of the performance model).
 #[test]
 fn model_time_scales_with_work() {
-    use lift::lift_codegen::compile_kernel;
-    use lift::lift_oclsim::{BufferData, LaunchConfig};
-    use lift::lift_rewrite::enumerate_variants;
+    use lift::lift_oclsim::BufferData;
 
     let dev = VirtualDevice::new(DeviceProfile::k20c());
     let mut times = Vec::new();
     for n in [16usize, 32, 64] {
-        let bench = by_name("Jacobi2D5pt");
+        let bench = lift::lift_stencils::by_name("Jacobi2D5pt");
         let sizes = [n, n];
-        let prog = bench.program(&sizes);
-        let variants = enumerate_variants(&prog);
-        let global = variants.iter().find(|v| v.name == "global").expect("exists");
-        let kernel = compile_kernel("k", &global.program).expect("compiles");
+        let compiled = Pipeline::from_benchmark(&bench, &sizes)
+            .expect("pipeline")
+            .explore()
+            .expect("explores")
+            .on(&dev)
+            .with_config("global", &[("lx", 8), ("ly", 8)])
+            .expect("compiles");
         let inputs: Vec<BufferData> = bench
             .gen_inputs(&sizes, 1)
             .into_iter()
             .map(BufferData::F32)
             .collect();
-        let out = dev
-            .run(&kernel, &inputs, LaunchConfig::d2(n, n, 8, 8))
-            .expect("runs");
+        let out = compiled.run(&inputs).expect("runs");
         times.push(out.time_s);
     }
     assert!(

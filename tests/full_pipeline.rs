@@ -1,11 +1,11 @@
 //! Integration: the complete pipeline — high-level program → lowering →
 //! OpenCL code generation → execution on the virtual device — validated
-//! against the golden reference for **every** Table-1 benchmark.
+//! against the golden reference for **every** Table-1 benchmark × all
+//! three device profiles, exclusively through the staged `Pipeline` API.
 
-use lift::lift_codegen::compile_kernel;
-use lift::lift_oclsim::{BufferData, DeviceProfile, LaunchConfig, VirtualDevice};
-use lift::lift_rewrite::enumerate_variants;
-use lift::lift_stencils::{suite, Benchmark};
+use lift::lift_oclsim::{BufferData, DeviceProfile, VirtualDevice};
+use lift::lift_stencils::suite;
+use lift::Pipeline;
 
 fn tiny(sizes: &[usize]) -> Vec<usize> {
     sizes.iter().map(|s| (*s).clamp(6, 12)).collect()
@@ -18,23 +18,13 @@ fn close(a: &[f32], b: &[f32]) -> bool {
             .all(|(x, y)| (x - y).abs() <= 1e-4 * y.abs().max(1.0))
 }
 
-fn launch_for(bench: &Benchmark, sizes: &[usize]) -> LaunchConfig {
-    match bench.dims {
-        1 => LaunchConfig::d1(sizes[0].next_power_of_two(), 4),
-        2 => LaunchConfig::d2(
-            sizes[1].next_power_of_two(),
-            sizes[0].next_power_of_two(),
-            4,
-            4,
-        ),
-        _ => LaunchConfig::d3(
-            [
-                sizes[2].next_power_of_two(),
-                sizes[1].next_power_of_two(),
-                sizes[0].next_power_of_two(),
-            ],
-            [4, 4, 2],
-        ),
+/// Launch parameters matching the old hand-rolled launches: small
+/// work-groups so the tiny grids still fill several groups.
+fn launch_params(dims: usize) -> Vec<(&'static str, i64)> {
+    match dims {
+        1 => vec![("lx", 4)],
+        2 => vec![("lx", 4), ("ly", 4)],
+        _ => vec![("lx", 4), ("ly", 4), ("lz", 2)],
     }
 }
 
@@ -42,24 +32,21 @@ fn launch_for(bench: &Benchmark, sizes: &[usize]) -> LaunchConfig {
 fn every_benchmark_compiles_and_runs_bit_close_on_all_devices() {
     for bench in suite() {
         let sizes = tiny(bench.small);
-        let prog = bench.program(&sizes);
-        let variants = enumerate_variants(&prog);
-        let global = variants
-            .iter()
-            .find(|v| v.name == "global")
-            .unwrap_or_else(|| panic!("{}: no global variant", bench.name));
-        let kernel = compile_kernel(&bench.name.to_lowercase(), &global.program)
-            .unwrap_or_else(|e| panic!("{}: codegen failed: {e}", bench.name));
-
         let raw_inputs = bench.gen_inputs(&sizes, 11);
         let golden = bench.golden(&raw_inputs, &sizes);
         let inputs: Vec<BufferData> = raw_inputs.into_iter().map(BufferData::F32).collect();
-        let launch = launch_for(&bench, &sizes);
 
         for profile in DeviceProfile::all() {
             let dev = VirtualDevice::new(profile);
-            let out = dev
-                .run(&kernel, &inputs, launch)
+            let compiled = Pipeline::from_benchmark(&bench, &sizes)
+                .unwrap_or_else(|e| panic!("{}: pipeline failed: {e}", bench.name))
+                .explore()
+                .unwrap_or_else(|e| panic!("{}: explore failed: {e}", bench.name))
+                .on(&dev)
+                .with_config("global", &launch_params(bench.dims))
+                .unwrap_or_else(|e| panic!("{}: codegen failed: {e}", bench.name));
+            let out = compiled
+                .run(&inputs)
                 .unwrap_or_else(|e| panic!("{} on {}: {e}", bench.name, dev.profile().name));
             assert!(
                 close(out.output.as_f32(), &golden),
@@ -74,23 +61,25 @@ fn every_benchmark_compiles_and_runs_bit_close_on_all_devices() {
 
 #[test]
 fn unrolled_variants_match_golden_too() {
+    let dev = VirtualDevice::new(DeviceProfile::hd7970());
     for bench in suite() {
         let sizes = tiny(bench.small);
-        let prog = bench.program(&sizes);
-        let variants = enumerate_variants(&prog);
-        let Some(v) = variants.iter().find(|v| v.name == "global-unroll") else {
+        let variants = Pipeline::from_benchmark(&bench, &sizes)
+            .expect("pipeline")
+            .explore()
+            .expect("explores");
+        if variants.get("global-unroll").is_none() {
             continue;
-        };
-        let kernel = match compile_kernel("k", &v.program) {
-            Ok(k) => k,
-            Err(e) => panic!("{}: unrolled codegen failed: {e}", bench.name),
-        };
+        }
+        let compiled = variants
+            .on(&dev)
+            .with_config("global-unroll", &launch_params(bench.dims))
+            .unwrap_or_else(|e| panic!("{}: unrolled codegen failed: {e}", bench.name));
         let raw_inputs = bench.gen_inputs(&sizes, 5);
         let golden = bench.golden(&raw_inputs, &sizes);
         let inputs: Vec<BufferData> = raw_inputs.into_iter().map(BufferData::F32).collect();
-        let dev = VirtualDevice::new(DeviceProfile::hd7970());
-        let out = dev
-            .run(&kernel, &inputs, launch_for(&bench, &sizes))
+        let out = compiled
+            .run(&inputs)
             .unwrap_or_else(|e| panic!("{}: {e}", bench.name));
         assert!(
             close(out.output.as_f32(), &golden),
@@ -102,20 +91,24 @@ fn unrolled_variants_match_golden_too() {
 
 #[test]
 fn generated_sources_embed_user_functions() {
+    let dev = VirtualDevice::new(DeviceProfile::k20c());
     for bench in suite() {
         let sizes = tiny(bench.small);
-        let prog = bench.program(&sizes);
-        let variants = enumerate_variants(&prog);
-        let global = variants.iter().find(|v| v.name == "global").expect("exists");
-        let kernel = compile_kernel("k", &global.program).expect("compiles");
-        let src = kernel.to_source();
-        assert!(src.contains("__kernel void k("), "{}", bench.name);
+        let compiled = Pipeline::from_benchmark(&bench, &sizes)
+            .expect("pipeline")
+            .explore()
+            .expect("explores")
+            .on(&dev)
+            .with_config("global", &launch_params(bench.dims))
+            .expect("compiles");
+        let src = compiled.source();
+        assert!(src.contains("__kernel void "), "{}", bench.name);
         assert!(
-            !kernel.user_funs.is_empty(),
+            !compiled.kernel().user_funs.is_empty(),
             "{}: no user functions collected",
             bench.name
         );
-        for uf in &kernel.user_funs {
+        for uf in &compiled.kernel().user_funs {
             assert!(
                 src.contains(uf.name()),
                 "{}: source lacks definition of `{}`",

@@ -19,7 +19,11 @@ fn listing1_equals_listing2() {
         for j in -1..=1 {
             let mut pos = i + j;
             pos = if pos < 0 { 0 } else { pos };
-            pos = if pos > n as i64 - 1 { n as i64 - 1 } else { pos };
+            pos = if pos > n as i64 - 1 {
+                n as i64 - 1
+            } else {
+                pos
+            };
             sum += a[pos as usize];
         }
         c_result[i as usize] = sum;
