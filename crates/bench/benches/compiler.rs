@@ -55,7 +55,8 @@ fn main() {
     });
     if let Some(tiled) = variants.iter().find(|v| v.name == "tiled-local") {
         let bound =
-            lift_rewrite::strategy::bind_tunables(tiled, &[("TS".into(), 10)]).expect("valid");
+            lift_rewrite::strategy::bind_tunables(tiled, &[("TS0".into(), 10), ("TS1".into(), 10)])
+                .expect("valid");
         bench("codegen_jacobi2d_tiled_local", || {
             compile_kernel("k", black_box(&bound)).expect("compiles")
         });

@@ -14,7 +14,7 @@
 
 use lift_arith::ArithExpr;
 
-use crate::build::{lam, map, pad, pad_value, slide};
+use crate::build::{lam, map, pad, pad_value};
 use crate::expr::{Expr, FunDecl};
 use crate::pattern::{Boundary, Pattern};
 use crate::scalar::Scalar;
@@ -52,14 +52,21 @@ pub fn map_at_depth(depth: usize, f: FunDecl, input: Expr) -> Expr {
     map(lam(elem, |x| map_at_depth(depth - 1, f, x)), input)
 }
 
-/// `map2(f) = map(map(f))` — maps `f` over the elements of a 2D array.
+/// `map_nd(rank, f) = map^rank(f)` — maps `f` over the elements of a
+/// `rank`-dimensional array (ranks 1–3). [`map2`] and [`map3`] are the
+/// fixed-rank spellings of this combinator.
 ///
 /// # Panics
 ///
-/// Panics if `input` is not (at least) a 2D array.
-pub fn map2(f: impl Into<FunDecl>, input: Expr) -> Expr {
+/// Panics on ranks outside 1–3 or if `input` is not (at least) a
+/// `rank`-dimensional array.
+pub fn map_nd(rank: usize, f: impl Into<FunDecl>, input: Expr) -> Expr {
+    assert!((1..=3).contains(&rank), "map_nd supports ranks 1-3");
+    if rank == 1 {
+        return map(f, input);
+    }
     map_at_depth(
-        1,
+        rank - 1,
         FunDecl::pattern(Pattern::Map {
             kind: crate::pattern::MapKind::Par,
             f: f.into(),
@@ -68,34 +75,22 @@ pub fn map2(f: impl Into<FunDecl>, input: Expr) -> Expr {
     )
 }
 
+/// `map2(f) = map(map(f))` — maps `f` over the elements of a 2D array.
+///
+/// # Panics
+///
+/// Panics if `input` is not (at least) a 2D array.
+pub fn map2(f: impl Into<FunDecl>, input: Expr) -> Expr {
+    map_nd(2, f, input)
+}
+
 /// `map3(f) = map(map(map(f)))`.
 ///
 /// # Panics
 ///
 /// Panics if `input` is not (at least) a 3D array.
 pub fn map3(f: impl Into<FunDecl>, input: Expr) -> Expr {
-    let inner = FunDecl::pattern(Pattern::Map {
-        kind: crate::pattern::MapKind::Par,
-        f: f.into(),
-    });
-    let middle = {
-        let elem2 = match typecheck(&input)
-            .expect("map3 on ill-typed input")
-            .as_array()
-            .map(|(e, _)| e.clone())
-        {
-            Some(e) => e,
-            None => panic!("map3 expects a 3D array"),
-        };
-        let row = match elem2.as_array().map(|(e, _)| e.clone()) {
-            Some(r) => r,
-            None => panic!("map3 expects a 3D array"),
-        };
-        lam(elem2, move |plane| {
-            map(lam(row, |r| Expr::apply(inner, [r])), plane)
-        })
-    };
-    map(middle, input)
+    map_nd(3, f, input)
 }
 
 /// `pad2(l, r, h) = map(pad(l, r, h)) ∘ pad(l, r, h)` — pads both dimensions
@@ -188,6 +183,72 @@ pub fn pad3_value(
     )
 }
 
+/// The adjacent-swap schedule that sorts `order` ascending (bubble sort):
+/// each emitted depth `d` stands for one `map_at_depth(d, transpose)`
+/// swapping dimensions `d` and `d + 1`, applied in emission order.
+pub fn adjacent_sort_depths(order: &mut [usize]) -> Vec<usize> {
+    let mut depths = Vec::new();
+    loop {
+        let mut swapped = false;
+        for i in 0..order.len().saturating_sub(1) {
+            if order[i] > order[i + 1] {
+                order.swap(i, i + 1);
+                depths.push(i);
+                swapped = true;
+            }
+        }
+        if !swapped {
+            return depths;
+        }
+    }
+}
+
+/// The transpose depths `slide_nd` emits (in application order) to move the
+/// `rank` window dimensions innermost. Exposed so the stencil recogniser in
+/// `lift-rewrite` can destructure the composition exactly as it was built.
+pub fn slide_reorder_depths(rank: usize) -> Vec<usize> {
+    // After sliding every dimension the order is interleaved
+    // [g0 w0 g1 w1 …]; the target is [g0 … g_{r−1} w0 … w_{r−1}].
+    let mut order: Vec<usize> = (0..rank).flat_map(|d| [d, rank + d]).collect();
+    adjacent_sort_depths(&mut order)
+}
+
+/// `slide_nd(sizes, steps)` — creates `rank`-dimensional neighbourhoods
+/// (ranks 1–3) with an independent window size and step *per dimension*
+/// (outermost first): every dimension is slid innermost-first and the
+/// resulting `2·rank` dimensions are re-ordered so the window dimensions
+/// are innermost (§3.4). [`slide2`] and [`slide3`] are the uniform-window
+/// spellings of this combinator, and `slide_nd(&[v], &[v], …)` per
+/// dimension is exactly `split` — which is how the tiling rule decomposes
+/// element-wise grids.
+///
+/// # Panics
+///
+/// Panics on ranks outside 1–3, mismatched `sizes`/`steps` lengths, or if
+/// `input` is not a `rank`-dimensional array.
+pub fn slide_nd(sizes: &[ArithExpr], steps: &[ArithExpr], input: Expr) -> Expr {
+    let rank = sizes.len();
+    assert!((1..=3).contains(&rank), "slide_nd supports ranks 1-3");
+    assert_eq!(steps.len(), rank, "one step per slid dimension");
+    // Slide every dimension, innermost first.
+    let mut e = input;
+    for d in (0..rank).rev() {
+        e = map_at_depth(
+            d,
+            FunDecl::pattern(Pattern::Slide {
+                size: sizes[d].clone(),
+                step: steps[d].clone(),
+            }),
+            e,
+        );
+    }
+    // Move the window dimensions innermost.
+    for d in slide_reorder_depths(rank) {
+        e = map_at_depth(d, FunDecl::pattern(Pattern::Transpose), e);
+    }
+    e
+}
+
 /// `slide2(size, step) = map(transpose) ∘ slide ∘ map(slide)` — creates 2D
 /// neighbourhoods (§3.4).
 ///
@@ -199,13 +260,7 @@ pub fn pad3_value(
 /// Panics if `input` is not a 2D array.
 pub fn slide2(size: impl Into<ArithExpr>, step: impl Into<ArithExpr>, input: Expr) -> Expr {
     let (size, step) = (size.into(), step.into());
-    let elem = elem_type(&input);
-    let inner = map(
-        lam(elem, |row| slide(size.clone(), step.clone(), row)),
-        input,
-    );
-    let outer = slide(size, step, inner);
-    map_at_depth(1, FunDecl::pattern(Pattern::Transpose), outer)
+    slide_nd(&[size.clone(), size], &[step.clone(), step], input)
 }
 
 /// `slide3(size, step)` — creates 3D neighbourhoods by sliding every
@@ -217,40 +272,11 @@ pub fn slide2(size: impl Into<ArithExpr>, step: impl Into<ArithExpr>, input: Exp
 /// Panics if `input` is not a 3D array.
 pub fn slide3(size: impl Into<ArithExpr>, step: impl Into<ArithExpr>, input: Expr) -> Expr {
     let (size, step) = (size.into(), step.into());
-    // Slide the innermost dimension: map(map(slide)).
-    let plane_ty = elem_type(&input);
-    let row_ty = match plane_ty.as_array().map(|(e, _)| e.clone()) {
-        Some(r) => r,
-        None => panic!("slide3 expects a 3D array"),
-    };
-    let s_inner = map(
-        lam(plane_ty, {
-            let (size, step) = (size.clone(), step.clone());
-            move |plane| {
-                map(
-                    lam(row_ty, |row| slide(size.clone(), step.clone(), row)),
-                    plane,
-                )
-            }
-        }),
+    slide_nd(
+        &[size.clone(), size.clone(), size],
+        &[step.clone(), step.clone(), step],
         input,
-    );
-    // Slide the middle dimension: map(slide).
-    let elem = elem_type(&s_inner);
-    let s_middle = map(
-        lam(elem, {
-            let (size, step) = (size.clone(), step.clone());
-            move |x| slide(size, step, x)
-        }),
-        s_inner,
-    );
-    // Slide the outermost dimension.
-    let s_outer = slide(size, step, s_middle);
-    // Dimensions are now [o' s3 n' s2 m' s]; reorder to [o' n' m' s3 s2 s]
-    // by swapping adjacent dimensions with transposes at depths 1, 3, 2.
-    let t1 = map_at_depth(1, FunDecl::pattern(Pattern::Transpose), s_outer);
-    let t2 = map_at_depth(3, FunDecl::pattern(Pattern::Transpose), t1);
-    map_at_depth(2, FunDecl::pattern(Pattern::Transpose), t2)
+    )
 }
 
 /// `zip` of two 2D arrays element-wise: `[[{T,U}]_m]_n` (zips every
@@ -304,6 +330,44 @@ pub fn zip3_2d(a: Expr, b: Expr, c: Expr) -> Expr {
         }),
         outer,
     )
+}
+
+/// Element-wise `zip` of equal-shaped `rank`-dimensional arrays (ranks
+/// 1–3, arities 2–3): the rank-generic spelling of
+/// [`zip2_2d`]/[`zip3_3d`] and friends.
+///
+/// # Panics
+///
+/// Panics on an unsupported rank/arity combination or ill-shaped inputs.
+pub fn zip_nd(rank: usize, mut comps: Vec<Expr>) -> Expr {
+    let pop = |c: &mut Vec<Expr>| c.remove(0);
+    match (rank, comps.len()) {
+        (1, 2) => {
+            let (a, b) = (pop(&mut comps), pop(&mut comps));
+            crate::build::zip2(a, b)
+        }
+        (1, 3) => {
+            let (a, b, c) = (pop(&mut comps), pop(&mut comps), pop(&mut comps));
+            crate::build::zip3(a, b, c)
+        }
+        (2, 2) => {
+            let (a, b) = (pop(&mut comps), pop(&mut comps));
+            zip2_2d(a, b)
+        }
+        (2, 3) => {
+            let (a, b, c) = (pop(&mut comps), pop(&mut comps), pop(&mut comps));
+            zip3_2d(a, b, c)
+        }
+        (3, 2) => {
+            let (a, b) = (pop(&mut comps), pop(&mut comps));
+            zip2_3d(a, b)
+        }
+        (3, 3) => {
+            let (a, b, c) = (pop(&mut comps), pop(&mut comps), pop(&mut comps));
+            zip3_3d(a, b, c)
+        }
+        (r, k) => panic!("zip_nd: unsupported rank {r} / arity {k}"),
+    }
 }
 
 /// `zip3` of three 3D arrays element-wise — the shape the acoustic

@@ -202,7 +202,7 @@ mod tests {
         let key = CacheKey {
             program: 1,
             variant: "global".into(),
-            params: vec![("TS".into(), 4)],
+            params: vec![("TS0".into(), 4)],
             device: "test".into(),
         };
         let compile = || {
@@ -238,7 +238,7 @@ mod tests {
         let mk = |ts| CacheKey {
             program: 9,
             variant: "tiled".into(),
-            params: vec![("TS".into(), ts)],
+            params: vec![("TS0".into(), ts)],
             device: "test".into(),
         };
         let compile = || {

@@ -15,8 +15,9 @@
 //!     .run(&inputs)?              // execute (no recompilation, ever)
 //! ```
 //!
-//! or, skipping the search, `.with_config("tiled-local", &[("TS", 10),
-//! ("lx", 8), ("ly", 8)])?`.
+//! or, skipping the search, `.with_config("tiled-local", &[("TS0", 10),
+//! ("TS1", 10), ("lx", 8), ("ly", 8)])?` — tiled variants carry one
+//! independent tile-size tunable per grid dimension.
 //!
 //! Three design decisions carry the crate:
 //!
@@ -142,7 +143,9 @@ mod tests {
         let err = session().with_config("tiled", &[]).unwrap_err();
         assert!(matches!(err, LiftError::InvalidConfig(_)), "{err}");
         // Invalid tunable value (5 is not a valid tile size for 12-padded).
-        let err = session().with_config("tiled", &[("TS", 5)]).unwrap_err();
+        let err = session()
+            .with_config("tiled", &[("TS0", 5), ("TS1", 4)])
+            .unwrap_err();
         assert!(matches!(err, LiftError::InvalidConfig(_)), "{err}");
         // Oversized work-group.
         let err = session()

@@ -383,7 +383,8 @@ impl DeviceSession {
     }
 
     /// Stage 4b: skip the search — compile one variant under an explicit
-    /// configuration (tunables such as `TS`/`CF` plus the launch parameters
+    /// configuration (tunables such as the per-dimension tile sizes
+    /// `TS0`/`TS1`/`TS2` or `CF` plus the launch parameters
     /// `lx`/`ly`/`lz`).
     ///
     /// # Errors

@@ -109,26 +109,31 @@ pub(crate) fn launch_for(
     let oz = if dims >= 3 { out_sizes[dims - 3] } else { 1 };
 
     if variant.tiled {
-        // One work-group per tile.
-        let ts = value_of(cfg, "TS")?;
-        let t = variant.tunables.iter().find(|t| t.var() == "TS")?;
-        let Tunable::TileSize {
-            nbh_size,
-            nbh_step,
-            lens,
-            ..
-        } = t
-        else {
-            return None;
-        };
-        let v = ts - (nbh_size - nbh_step);
-        let groups: Vec<usize> = lens
-            .iter()
-            .map(|len| ((len - ts) / v + 1) as usize)
-            .collect();
-        match variant.dims {
+        // One work-group per tile: the group count per dimension follows
+        // from that dimension's tile-size tunable (`TS0` outermost).
+        let mut groups = Vec::new();
+        for t in &variant.tunables {
+            let Tunable::TileSize {
+                var,
+                nbh_size,
+                nbh_step,
+                len,
+            } = t
+            else {
+                continue;
+            };
+            let ts = value_of(cfg, var)?;
+            let v = ts - (nbh_size - nbh_step);
+            groups.push(((len - ts) / v + 1) as usize);
+        }
+        match groups.len() {
             1 => Some(LaunchConfig::d1(groups[0] * lx, lx)),
-            _ => Some(LaunchConfig::d2(groups[1] * lx, groups[0] * ly, lx, ly)),
+            2 => Some(LaunchConfig::d2(groups[1] * lx, groups[0] * ly, lx, ly)),
+            3 => Some(LaunchConfig::d3(
+                [groups[2] * lx, groups[1] * ly, groups[0] * lz],
+                [lx, ly, lz],
+            )),
+            _ => None,
         }
     } else {
         let cf = value_of(cfg, "CF").unwrap_or(1).max(1) as usize;
@@ -301,7 +306,7 @@ pub(crate) fn tune_variant(ctx: &TuneContext<'_>, variant: &Variant) -> Option<T
     let mut specs = Vec::new();
     for t in &variant.tunables {
         let cap = match t {
-            Tunable::TileSize { lens, .. } => lens.iter().copied().min().unwrap_or(64).min(64),
+            Tunable::TileSize { len, .. } => (*len).min(64),
             Tunable::CoarsenFactor { .. } => 16,
         };
         let mut cands = t.candidates(cap);

@@ -173,6 +173,67 @@ pub fn ablation(bench_names: &[&str]) -> Result<Vec<AblationRow>, LiftError> {
     Ok(rows)
 }
 
+/// One row of a single-benchmark report: the tuned best of one variant on
+/// one device (`winner` marks the per-device fastest).
+#[derive(Debug, Clone)]
+pub struct BenchRow {
+    /// Benchmark name.
+    pub bench: String,
+    /// Device name.
+    pub device: String,
+    /// Variant name.
+    pub variant: String,
+    /// Modeled runtime in seconds.
+    pub time_s: f64,
+    /// Throughput in giga-elements/s.
+    pub gelems: f64,
+    /// The winning parameter values for this variant.
+    pub config: Vec<(String, i64)>,
+    /// Whether this variant won on this device.
+    pub winner: bool,
+    /// Whether the variant uses overlapped tiling.
+    pub tiled: bool,
+    /// Whether it stages through local memory.
+    pub local_mem: bool,
+}
+
+/// Runs one Table-1 benchmark in isolation (`lift-harness bench <name>`):
+/// explore + tune on every device profile, reporting every variant's best
+/// configuration — the quickest way to inspect a single benchmark's search
+/// space (e.g. the per-dimension tile sizes a 3D stencil settled on).
+///
+/// # Errors
+///
+/// [`LiftError::UnknownBenchmark`] for a name outside Table 1, plus any
+/// pipeline error.
+pub fn bench_one(name: &str, large: bool) -> Result<Vec<BenchRow>, LiftError> {
+    // Resolve the name early so a typo fails before minutes of tuning.
+    let bench = suite()
+        .into_iter()
+        .find(|b| b.name == name)
+        .ok_or_else(|| LiftError::UnknownBenchmark(name.to_string()))?;
+    let sizes = bench.size(large);
+    let mut rows = Vec::new();
+    for dev_profile in DeviceProfile::all() {
+        let dev = VirtualDevice::new(dev_profile);
+        let result = tune(&bench, &sizes, &dev)?;
+        for v in &result.all {
+            rows.push(BenchRow {
+                bench: name.to_string(),
+                device: dev.profile().name.to_string(),
+                variant: v.name.clone(),
+                time_s: v.time_s,
+                gelems: v.gelems_per_s,
+                config: v.config.clone(),
+                winner: v.name == result.winner.name,
+                tiled: v.tiled,
+                local_mem: v.local_mem,
+            });
+        }
+    }
+    Ok(rows)
+}
+
 /// One row of Table 1.
 #[derive(Debug, Clone)]
 pub struct Table1Row {

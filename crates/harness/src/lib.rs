@@ -13,7 +13,9 @@
 pub mod experiments;
 pub mod report;
 
-pub use experiments::{ablation, fig7, fig8, table1, AblationRow, Fig7Row, Fig8Row, Table1Row};
+pub use experiments::{
+    ablation, bench_one, fig7, fig8, table1, AblationRow, BenchRow, Fig7Row, Fig8Row, Table1Row,
+};
 pub use lift_driver::{BenchResult, LiftError, Pipeline, TunedVariant};
 
 /// The tuning budget per variant/device pair.

@@ -5,7 +5,9 @@
 //! lift-harness fig7               # Figure 7 (Lift vs hand-written kernels)
 //! lift-harness fig8               # Figure 8 (Lift vs PPCG)
 //! lift-harness ablation           # per-variant rewrite-rule ablation
-//! lift-harness all                # everything above
+//! lift-harness bench <name>       # one Table-1 benchmark in isolation
+//! lift-harness bench <name> --large   # …at the large grid size
+//! lift-harness all                # every experiment above
 //! lift-harness --json fig7        # machine-readable output for CI
 //! ```
 //!
@@ -14,12 +16,25 @@
 //! usage errors.
 
 use lift_harness::report::{
-    json_ablation, json_fig7, json_fig8, json_table1, render_ablation, render_fig7, render_fig8,
-    render_table1,
+    json_ablation, json_bench, json_fig7, json_fig8, json_table1, render_ablation, render_bench,
+    render_fig7, render_fig8, render_table1,
 };
-use lift_harness::{ablation, fig7, fig8, table1, LiftError};
+use lift_harness::{ablation, bench_one, fig7, fig8, table1, LiftError};
 
 const ABLATION_BENCHES: [&str; 2] = ["Jacobi2D5pt", "Jacobi3D7pt"];
+
+fn run_bench(name: &str, large: bool, json: bool) -> Result<(), LiftError> {
+    let rows = bench_one(name, large)?;
+    print!(
+        "{}",
+        if json {
+            json_bench(&rows)
+        } else {
+            render_bench(&rows)
+        }
+    );
+    Ok(())
+}
 
 fn run(cmd: &str, json: bool) -> Result<(), LiftError> {
     match cmd {
@@ -86,7 +101,9 @@ fn run(cmd: &str, json: bool) -> Result<(), LiftError> {
             }
         }
         other => {
-            eprintln!("unknown experiment `{other}`; use table1|fig7|fig8|ablation|all");
+            eprintln!(
+                "unknown experiment `{other}`; use table1|fig7|fig8|ablation|bench <name>|all"
+            );
             std::process::exit(2);
         }
     }
@@ -95,19 +112,37 @@ fn run(cmd: &str, json: bool) -> Result<(), LiftError> {
 
 fn main() {
     let mut json = false;
-    let mut cmd: Option<String> = None;
+    let mut large = false;
+    let mut positional: Vec<String> = Vec::new();
     for arg in std::env::args().skip(1) {
         match arg.as_str() {
             "--json" => json = true,
-            other if cmd.is_none() => cmd = Some(other.to_string()),
-            other => {
-                eprintln!("unexpected argument `{other}`");
-                std::process::exit(2);
-            }
+            "--large" => large = true,
+            other => positional.push(other.to_string()),
         }
     }
-    let cmd = cmd.unwrap_or_else(|| "all".to_string());
-    if let Err(e) = run(&cmd, json) {
+    let cmd = positional
+        .first()
+        .cloned()
+        .unwrap_or_else(|| "all".to_string());
+    if positional.len() > 2 || (positional.len() == 2 && cmd != "bench") {
+        eprintln!("unexpected argument `{}`", positional.last().unwrap());
+        std::process::exit(2);
+    }
+    let result = if cmd == "bench" {
+        let Some(name) = positional.get(1) else {
+            eprintln!("`bench` needs a benchmark name; try `lift-harness table1` for the list");
+            std::process::exit(2);
+        };
+        run_bench(name, large, json)
+    } else {
+        if large {
+            eprintln!("--large only applies to `bench <name>`");
+            std::process::exit(2);
+        }
+        run(&cmd, json)
+    };
+    if let Err(e) = result {
         eprintln!("lift-harness: {e}");
         // Surface the full cause chain: the unified error type links back
         // to the originating crate's diagnostic.

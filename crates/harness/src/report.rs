@@ -1,7 +1,7 @@
 //! Rendering of experiment results: plain text in the paper's shape, plus
 //! machine-readable JSON (`lift-harness --json`) for CI and perf tracking.
 
-use crate::experiments::{AblationRow, Fig7Row, Fig8Row, Table1Row};
+use crate::experiments::{AblationRow, BenchRow, Fig7Row, Fig8Row, Table1Row};
 
 /// Escapes a string for a JSON literal (the names here are ASCII, but the
 /// device names contain spaces and the code must not silently corrupt
@@ -94,6 +94,61 @@ pub fn json_ablation(rows: &[AblationRow]) -> String {
             json_f64(r.rel_to_best)
         )
     }))
+}
+
+/// Renders a single-benchmark report as a JSON array.
+pub fn json_bench(rows: &[BenchRow]) -> String {
+    json_array(rows.iter().map(|r| {
+        let config = r
+            .config
+            .iter()
+            .map(|(n, v)| format!("{}: {v}", json_str(n)))
+            .collect::<Vec<_>>()
+            .join(", ");
+        format!(
+            "{{\"bench\": {}, \"device\": {}, \"variant\": {}, \"time_s\": {}, \"gelems\": {}, \"config\": {{{config}}}, \"winner\": {}, \"tiled\": {}, \"local_mem\": {}}}",
+            json_str(&r.bench),
+            json_str(&r.device),
+            json_str(&r.variant),
+            json_f64(r.time_s),
+            json_f64(r.gelems),
+            r.winner,
+            r.tiled,
+            r.local_mem
+        )
+    }))
+}
+
+/// Renders a single-benchmark report: per device, every tuned variant with
+/// its best configuration, the winner marked.
+pub fn render_bench(rows: &[BenchRow]) -> String {
+    let mut s = String::new();
+    let name = rows.first().map(|r| r.bench.as_str()).unwrap_or("?");
+    s.push_str(&format!(
+        "Benchmark {name}: tuned variants per device (* = winner)\n"
+    ));
+    let mut devices: Vec<&str> = rows.iter().map(|r| r.device.as_str()).collect();
+    devices.dedup();
+    for dev in devices {
+        s.push_str(&format!("\n  [{dev}]\n"));
+        for r in rows.iter().filter(|r| r.device == dev) {
+            let config = r
+                .config
+                .iter()
+                .map(|(n, v)| format!("{n}={v}"))
+                .collect::<Vec<_>>()
+                .join(" ");
+            s.push_str(&format!(
+                "  {}{:<21}{:>10.4} GEl/s  {:>9.2} us   {}\n",
+                if r.winner { '*' } else { ' ' },
+                r.variant,
+                r.gelems,
+                r.time_s * 1e6,
+                config,
+            ));
+        }
+    }
+    s
 }
 
 /// Renders Table 1.

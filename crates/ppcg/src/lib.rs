@@ -22,13 +22,12 @@
 //! There is no exploration: where Lift *derives* untiled alternatives by
 //! rewriting, PPCG cannot.
 
-use lift_arith::ArithExpr;
 use lift_core::expr::FunDecl;
 use lift_core::pattern::MapKind;
 use lift_core::typecheck::typecheck_fun;
 use lift_rewrite::lowering::{lower_grid, sequentialise};
 use lift_rewrite::rules::tile_anywhere;
-use lift_rewrite::strategy::Tunable;
+use lift_rewrite::strategy::{find_tile_info, Tunable};
 
 /// The outcome of "compiling with PPCG": a single lowered program with its
 /// tunable parameters.
@@ -76,9 +75,14 @@ pub fn compile(prog: &FunDecl) -> Result<PpcgKernel, PpcgError> {
 
     match dims {
         2 => {
-            // Always tile + stage through shared memory.
-            let ts = ArithExpr::var("TS");
-            let tiled = tile_anywhere(body, &ts, true)
+            // Always tile + stage through shared memory. Tile-size legality
+            // needs the per-dimension stencil geometry, resolved by the
+            // same unified rank-generic recogniser the Lift exploration
+            // uses.
+            let info = find_tile_info(body)
+                .filter(|i| i.rank == 2)
+                .ok_or_else(|| PpcgError("2D stencil shape not recognised for tiling".into()))?;
+            let tiled = tile_anywhere(body, &info.tile_vars(), true)
                 .ok_or_else(|| PpcgError("2D stencil shape not recognised for tiling".into()))?;
             let kinds = [
                 MapKind::Wrg(1),
@@ -87,18 +91,10 @@ pub fn compile(prog: &FunDecl) -> Result<PpcgKernel, PpcgError> {
                 MapKind::Lcl(0),
             ];
             let lowered = sequentialise(&lower_grid(&tiled, &kinds));
-            // Tile-size legality needs the padded extents.
-            let info = stencil_extents(body)
-                .ok_or_else(|| PpcgError("could not determine stencil extents".into()))?;
             Ok(PpcgKernel {
                 strategy: "shared-memory tiling (2D)",
                 program: rebuild(lowered),
-                tunables: vec![Tunable::TileSize {
-                    var: "TS".into(),
-                    nbh_size: info.0,
-                    nbh_step: info.1,
-                    lens: info.2,
-                }],
+                tunables: info.tile_tunables(),
                 dims,
             })
         }
@@ -115,32 +111,6 @@ pub fn compile(prog: &FunDecl) -> Result<PpcgKernel, PpcgError> {
         }
         d => Err(PpcgError(format!("unsupported dimensionality {d}"))),
     }
-}
-
-/// `(nbh_size, nbh_step, padded_lens)` of the first recognisable 2D stencil.
-fn stencil_extents(body: &lift_core::expr::Expr) -> Option<(i64, i64, Vec<i64>)> {
-    let mut out = None;
-    lift_core::visit::walk(body, &mut |node| {
-        if out.is_some() {
-            return;
-        }
-        if let Some(st) = lift_rewrite::stencil::match_stencil_2d(node) {
-            if let (Some(n), Some(s)) = (st.size.as_cst(), st.step.as_cst()) {
-                if let Ok(t) = lift_core::typecheck::typecheck(&st.input) {
-                    let lens: Vec<i64> = t
-                        .shape()
-                        .iter()
-                        .take(2)
-                        .filter_map(ArithExpr::as_cst)
-                        .collect();
-                    if lens.len() == 2 {
-                        out = Some((n, s, lens));
-                    }
-                }
-            }
-        }
-    });
-    out
 }
 
 #[cfg(test)]
@@ -178,7 +148,7 @@ mod tests {
     fn ppcg_2d_always_tiles() {
         let k = compile(&jacobi2d(14)).expect("compiles");
         assert!(k.strategy.contains("tiling"));
-        assert_eq!(k.tunables.len(), 1);
+        assert_eq!(k.tunables.len(), 2, "one tile size per dimension");
         // Local memory staging is part of the strategy.
         let locals = lift_core::visit::find_positions(
             match &k.program {
@@ -208,7 +178,8 @@ mod tests {
             local_mem: true,
             unrolled: false,
         };
-        let bound = bind_tunables(&variant, &[("TS".into(), 4)]).expect("valid tile");
+        let bound =
+            bind_tunables(&variant, &[("TS0".into(), 4), ("TS1".into(), 4)]).expect("valid tile");
         let data: Vec<f32> = (0..14 * 14).map(|i| (i % 7) as f32).collect();
         let input = DataValue::from_f32s_2d(&data, 14, 14);
         let lhs = eval_fun(&prog, std::slice::from_ref(&input))

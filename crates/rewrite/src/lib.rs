@@ -4,20 +4,27 @@
 //! and device-specific — is a *semantics-preserving rewrite rule* applied to
 //! the functional IR. This crate provides:
 //!
-//! * [`rules`] — the paper's stencil rules: **overlapped tiling** in 1D
-//!   (`map f ∘ slide n s ↦ join ∘ map(map f ∘ slide n s) ∘ slide u v` with
-//!   `u − v = n − s`) and 2D (with the transpose bookkeeping of §4.1), its
-//!   two decomposed correctness halves, classic map fusion, the
-//!   local-memory rule `map(id) ↦ toLocal(map(id))` (§4.2), and loop
-//!   unrolling via `reduceUnroll` (§4.3);
+//! * [`rules`] — the paper's stencil rules: **rank-generic overlapped
+//!   tiling** (`map_nd f ∘ slide_nd n s ↦ reassemble ∘ map_nd(map_nd f ∘
+//!   slide_nd n s) ∘ slide_nd u v` with the per-dimension constraint
+//!   `u_d − v_d = n_d − s_d`, covering the paper's 1D/2D rules of §4.1 and
+//!   their 3D extension — including multi-grid stencils zipped with
+//!   element-wise operands), its two decomposed correctness halves, classic
+//!   map fusion, the local-memory rule `map(id) ↦ toLocal(map(id))` (§4.2)
+//!   with rank-generic `mapLcl` staging copies, and loop unrolling via
+//!   `reduceUnroll` (§4.3);
 //! * [`lowering`] — the rules that map high-level `map`s onto the OpenCL
 //!   thread hierarchy (`mapGlb`/`mapWrg`/`mapLcl`/`mapSeq`) and thread
 //!   coarsening via `split`/`join`;
-//! * [`stencil`] — recognisers for the canonical
-//!   `map_n(f) ∘ slide_n ∘ pad_n` stencil shapes the builders produce;
+//! * [`stencil`] — the unified rank-generic recogniser
+//!   ([`stencil::match_stencil_nd`]) for the canonical
+//!   `map_nd(f) ∘ slide_nd ∘ pad_nd` stencil shapes the builders produce,
+//!   ranks 1–3, optionally through a deep `zip_nd` of windowed and
+//!   element-wise operands;
 //! * [`strategy`] — the exploration: enumerate the lowered variants
 //!   (±tiling, ±local memory, ±unrolling, ±coarsening) with named tunable
-//!   parameters for the auto-tuner, mirroring the paper's automatic search.
+//!   parameters — one independent tile size per dimension (`TS0 … TSd−1`)
+//!   — for the auto-tuner, mirroring the paper's automatic search.
 //!
 //! Every rule is typed-checked-preserving by construction and validated
 //! against the reference evaluator in this crate's tests.

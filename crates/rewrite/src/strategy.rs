@@ -4,9 +4,16 @@
 //! This encodes the search space the paper explores automatically: for each
 //! benchmark Lift derives several low-level expressions (±overlapped tiling,
 //! ±local memory, ±unrolling, ±thread coarsening) and each expression
-//! carries numeric tunables (tile size, coarsening factor; the launch
-//! configuration is tuned separately by the harness). The auto-tuner then
-//! picks the best (expression, parameters) pair per device.
+//! carries numeric tunables (per-dimension tile sizes, coarsening factor;
+//! the launch configuration is tuned separately by the harness). The
+//! auto-tuner then picks the best (expression, parameters) pair per device.
+//!
+//! The tiling path is *rank-driven*: the unified [`match_stencil_nd`]
+//! recogniser determines the stencil's rank (1–3), the tiled variants carry
+//! one independent [`Tunable::TileSize`] per dimension (`TS0 … TSd−1`,
+//! outermost first — the paper tunes tile sizes per dimension), and the
+//! work-group lowering assigns one `mapWrg(d)`/`mapLcl(d)` pair per
+//! dimension of the matched rank.
 
 use lift_arith::ArithExpr;
 use lift_core::expr::{Expr, FunDecl};
@@ -15,23 +22,25 @@ use lift_core::typecheck::{typecheck, typecheck_fun};
 
 use crate::lowering::{coarsen_innermost, lower_grid, sequentialise, unroll};
 use crate::rules::tile_anywhere;
-use crate::stencil::{match_stencil_1d, match_stencil_2d};
+use crate::stencil::match_stencil_nd;
 
 /// A numeric parameter left symbolic in a [`Variant`], to be bound by the
 /// auto-tuner before code generation.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Tunable {
-    /// An overlapped-tiling tile size `u` (the rewrite fixed
-    /// `v = u − (n − s)`).
+    /// An overlapped-tiling tile size `u` along *one* dimension (the
+    /// rewrite fixed `v = u − (n − s)` on the same axis). A rank-`d` tiled
+    /// variant carries `d` of these, named `TS0 … TSd−1` outermost first,
+    /// each tuned independently.
     TileSize {
-        /// The arithmetic variable name in the program.
+        /// The arithmetic variable name in the program (`TS<dim>`).
         var: String,
-        /// Neighbourhood size `n`.
+        /// Neighbourhood size `n` along this dimension.
         nbh_size: i64,
-        /// Neighbourhood step `s`.
+        /// Neighbourhood step `s` along this dimension.
         nbh_step: i64,
-        /// Padded input extent per tiled dimension.
-        lens: Vec<i64>,
+        /// Padded input extent along this dimension.
+        len: i64,
     },
     /// A thread-coarsening factor (elements per thread).
     CoarsenFactor {
@@ -57,14 +66,12 @@ impl Tunable {
             Tunable::TileSize {
                 nbh_size,
                 nbh_step,
-                lens,
+                len,
                 ..
             } => {
                 let halo = nbh_size - nbh_step;
                 let v = value - halo;
-                value >= *nbh_size
-                    && v > 0
-                    && lens.iter().all(|l| value <= *l && (*l - value) % v == 0)
+                value >= *nbh_size && v > 0 && value <= *len && (*len - value) % v == 0
             }
             Tunable::CoarsenFactor { len, .. } => value >= 1 && len % value == 0,
         }
@@ -177,30 +184,23 @@ pub fn enumerate_variants(prog: &FunDecl) -> Vec<Variant> {
     }
 
     // --- overlapped tiling ------------------------------------------------
-    if let Some(tile_info) = find_tile_info(body) {
-        let ts = ArithExpr::var("TS");
+    if let Some(info) = find_tile_info(body) {
+        let tile_vars = info.tile_vars();
         for (use_local, suffix) in [(false, "tiled"), (true, "tiled-local")] {
-            if let Some(tiled) = tile_anywhere(body, &ts, use_local) {
-                let kinds: Vec<MapKind> = match tile_info.dims {
-                    1 => vec![MapKind::Wrg(0), MapKind::Lcl(0)],
-                    _ => vec![
-                        MapKind::Wrg(1),
-                        MapKind::Wrg(0),
-                        MapKind::Lcl(1),
-                        MapKind::Lcl(0),
-                    ],
-                };
+            if let Some(tiled) = tile_anywhere(body, &tile_vars, use_local) {
+                // One Wrg/Lcl pair per dimension of the *matched* rank,
+                // outermost dimension on the highest OpenCL index.
+                let kinds: Vec<MapKind> = (0..info.rank)
+                    .rev()
+                    .map(|d| MapKind::Wrg(d as u8))
+                    .chain((0..info.rank).rev().map(|d| MapKind::Lcl(d as u8)))
+                    .collect();
                 let lowered = sequentialise(&lower_grid(&tiled, &kinds));
-                let tunable = Tunable::TileSize {
-                    var: "TS".into(),
-                    nbh_size: tile_info.nbh_size,
-                    nbh_step: tile_info.nbh_step,
-                    lens: tile_info.lens.clone(),
-                };
+                let tunables = info.tile_tunables();
                 variants.push(Variant {
                     name: suffix.into(),
                     program: rebuild(prog, lowered.clone()),
-                    tunables: vec![tunable.clone()],
+                    tunables: tunables.clone(),
                     dims,
                     tiled: true,
                     local_mem: use_local,
@@ -209,7 +209,7 @@ pub fn enumerate_variants(prog: &FunDecl) -> Vec<Variant> {
                 variants.push(Variant {
                     name: format!("{suffix}-unroll"),
                     program: rebuild(prog, unroll(&lowered, UNROLL_LIMIT)),
-                    tunables: vec![tunable],
+                    tunables,
                     dims,
                     tiled: true,
                     local_mem: use_local,
@@ -222,53 +222,76 @@ pub fn enumerate_variants(prog: &FunDecl) -> Vec<Variant> {
     variants
 }
 
-struct TileInfo {
-    dims: usize,
-    nbh_size: i64,
-    nbh_step: i64,
-    lens: Vec<i64>,
+/// The tileable-stencil facts exploration needs: the matched rank and, per
+/// dimension (outermost first), the neighbourhood geometry and the padded
+/// input extent.
+pub struct StencilInfo {
+    /// Matched stencil rank (1–3).
+    pub rank: usize,
+    /// Neighbourhood size per dimension.
+    pub sizes: Vec<i64>,
+    /// Neighbourhood step per dimension.
+    pub steps: Vec<i64>,
+    /// Padded (windowed-input) extent per dimension.
+    pub lens: Vec<i64>,
 }
 
-fn find_tile_info(body: &Expr) -> Option<TileInfo> {
+impl StencilInfo {
+    /// The per-dimension tile-size variables (`TS0 … TSd−1`, outermost
+    /// first) the tiling rewrite leaves symbolic.
+    pub fn tile_vars(&self) -> Vec<ArithExpr> {
+        (0..self.rank)
+            .map(|d| ArithExpr::var(format!("TS{d}")))
+            .collect()
+    }
+
+    /// The matching per-dimension [`Tunable::TileSize`] declarations —
+    /// the single source of the `TS<dim>` naming scheme shared by the Lift
+    /// exploration and the PPCG baseline.
+    pub fn tile_tunables(&self) -> Vec<Tunable> {
+        (0..self.rank)
+            .map(|d| Tunable::TileSize {
+                var: format!("TS{d}"),
+                nbh_size: self.sizes[d],
+                nbh_step: self.steps[d],
+                len: self.lens[d],
+            })
+            .collect()
+    }
+}
+
+/// Finds the first recognisable stencil in `body` with fully concrete
+/// geometry (sizes, steps, and windowed-input extents).
+pub fn find_tile_info(body: &Expr) -> Option<StencilInfo> {
     let mut result = None;
     lift_core::visit::walk(body, &mut |node| {
         if result.is_some() {
             return;
         }
-        if let Some(st) = match_stencil_2d(node) {
-            if let (Some(n), Some(s)) = (st.size.as_cst(), st.step.as_cst()) {
-                if let Ok(t) = typecheck(&st.input) {
-                    let lens: Vec<i64> = t
-                        .shape()
-                        .iter()
-                        .take(2)
-                        .filter_map(ArithExpr::as_cst)
-                        .collect();
-                    if lens.len() == 2 {
-                        result = Some(TileInfo {
-                            dims: 2,
-                            nbh_size: n,
-                            nbh_step: s,
-                            lens,
-                        });
-                        return;
-                    }
-                }
-            }
-        }
-        if let Some(st) = match_stencil_1d(node) {
-            if let (Some(n), Some(s)) = (st.size.as_cst(), st.step.as_cst()) {
-                if let Ok(t) = typecheck(&st.input) {
-                    if let Some(l) = t.shape().first().and_then(ArithExpr::as_cst) {
-                        result = Some(TileInfo {
-                            dims: 1,
-                            nbh_size: n,
-                            nbh_step: s,
-                            lens: vec![l],
-                        });
-                    }
-                }
-            }
+        let Some(st) = match_stencil_nd(node) else {
+            return;
+        };
+        let sizes: Option<Vec<i64>> = st.sizes.iter().map(ArithExpr::as_cst).collect();
+        let steps: Option<Vec<i64>> = st.steps.iter().map(ArithExpr::as_cst).collect();
+        let (Some(sizes), Some(steps)) = (sizes, steps) else {
+            return;
+        };
+        let Ok(t) = typecheck(st.windowed_input()) else {
+            return;
+        };
+        let lens: Vec<i64> = t
+            .shape()
+            .iter()
+            .take(st.rank)
+            .filter_map(ArithExpr::as_cst)
+            .collect();
+        if lens.len() == st.rank {
+            result = Some(StencilInfo {
+                rank: st.rank,
+                sizes,
+                steps,
+                lens,
+            });
         }
     });
     result
@@ -442,34 +465,64 @@ mod tests {
         assert!(names.contains(&"tiled-local-unroll"));
     }
 
+    fn jacobi3d(n: i64) -> FunDecl {
+        lam_named("A", Type::array_3d(Type::f32(), n, n, n), |a| {
+            let f = lam(Type::array_3d(Type::f32(), 3, 3, 3), |nbh| {
+                reduce(add_f32(), Expr::f32(0.0), join(join(nbh)))
+            });
+            lift_core::ndim::map3(
+                f,
+                lift_core::ndim::slide3(3, 1, lift_core::ndim::pad3(1, 1, Boundary::Clamp, a)),
+            )
+        })
+    }
+
     #[test]
     fn enumerates_expected_variants_2d() {
         let vs = enumerate_variants(&jacobi2d(14));
         let names: Vec<&str> = vs.iter().map(|v| v.name.as_str()).collect();
         assert!(names.contains(&"tiled-local"), "got {names:?}");
         let tiled = vs.iter().find(|v| v.name == "tiled").unwrap();
-        match &tiled.tunables[0] {
-            Tunable::TileSize {
-                nbh_size,
-                nbh_step,
-                lens,
-                ..
-            } => {
-                assert_eq!(*nbh_size, 3);
-                assert_eq!(*nbh_step, 1);
-                assert_eq!(lens, &vec![16, 16]); // padded
+        assert_eq!(tiled.tunables.len(), 2, "one tile size per dimension");
+        for (d, t) in tiled.tunables.iter().enumerate() {
+            match t {
+                Tunable::TileSize {
+                    var,
+                    nbh_size,
+                    nbh_step,
+                    len,
+                } => {
+                    assert_eq!(var, &format!("TS{d}"));
+                    assert_eq!(*nbh_size, 3);
+                    assert_eq!(*nbh_step, 1);
+                    assert_eq!(*len, 16); // padded
+                }
+                other => panic!("unexpected tunable {other:?}"),
             }
-            other => panic!("unexpected tunable {other:?}"),
         }
+    }
+
+    #[test]
+    fn enumerates_tiled_variants_3d_with_per_dimension_tunables() {
+        let vs = enumerate_variants(&jacobi3d(6));
+        let names: Vec<&str> = vs.iter().map(|v| v.name.as_str()).collect();
+        for want in ["tiled", "tiled-local", "tiled-unroll", "tiled-local-unroll"] {
+            assert!(names.contains(&want), "missing {want}, got {names:?}");
+        }
+        let tiled = vs.iter().find(|v| v.name == "tiled-local").unwrap();
+        assert_eq!(tiled.dims, 3);
+        assert!(tiled.tiled && tiled.local_mem);
+        let vars: Vec<&str> = tiled.tunables.iter().map(|t| t.var()).collect();
+        assert_eq!(vars, vec!["TS0", "TS1", "TS2"]);
     }
 
     #[test]
     fn tile_size_validity() {
         let t = Tunable::TileSize {
-            var: "TS".into(),
+            var: "TS0".into(),
             nbh_size: 3,
             nbh_step: 1,
-            lens: vec![16, 16],
+            len: 16,
         };
         // v = u − 2 must divide 16 − u.
         assert!(t.is_valid(4)); // v=2, (16−4)%2 == 0
@@ -477,6 +530,32 @@ mod tests {
         assert!(!t.is_valid(2)); // smaller than the neighbourhood
         assert!(!t.is_valid(5)); // v=3, (16−5)%3 ≠ 0
         assert_eq!(t.candidates(16), vec![3, 4, 9, 16]);
+    }
+
+    #[test]
+    fn per_dimension_tile_sizes_are_independent() {
+        // A non-cubic grid: each dimension gets its own validity domain.
+        let prog = lam_named("A", Type::array_2d(Type::f32(), 14, 30), |a| {
+            let f = lam(Type::array_2d(Type::f32(), 3, 3), |nbh| {
+                reduce(add_f32(), Expr::f32(0.0), join(nbh))
+            });
+            lift_core::ndim::map2(
+                f,
+                lift_core::ndim::slide2(3, 1, lift_core::ndim::pad2(1, 1, Boundary::Clamp, a)),
+            )
+        });
+        let vs = enumerate_variants(&prog);
+        let tiled = vs.iter().find(|v| v.name == "tiled").unwrap();
+        let t0 = &tiled.tunables[0];
+        let t1 = &tiled.tunables[1];
+        assert_eq!(t0.candidates(16), vec![3, 4, 9, 16]); // len 16
+        assert_eq!(t1.candidates(32), vec![3, 4, 5, 7, 8, 12, 17, 32]); // len 32
+                                                                        // Binding them independently concretises the program.
+        let bound = bind_tunables(tiled, &[("TS0".into(), 4), ("TS1".into(), 12)]).expect("valid");
+        assert_eq!(
+            typecheck_fun(&bound).unwrap(),
+            typecheck_fun(&prog).unwrap()
+        );
     }
 
     #[test]
@@ -509,13 +588,15 @@ mod tests {
         let prog = jacobi2d(14);
         let vs = enumerate_variants(&prog);
         let tiled = vs.iter().find(|v| v.name == "tiled").unwrap();
-        let bound = bind_tunables(tiled, &[("TS".into(), 4)]).expect("valid");
+        let bound = bind_tunables(tiled, &[("TS0".into(), 4), ("TS1".into(), 4)]).expect("valid");
         // Fully concrete now: typechecks to the same type as the original.
         assert_eq!(
             typecheck_fun(&bound).unwrap(),
             typecheck_fun(&prog).unwrap()
         );
         // Invalid tile size is rejected.
-        assert!(bind_tunables(tiled, &[("TS".into(), 5)]).is_none());
+        assert!(bind_tunables(tiled, &[("TS0".into(), 5), ("TS1".into(), 4)]).is_none());
+        // Missing per-dimension values are rejected.
+        assert!(bind_tunables(tiled, &[("TS0".into(), 4)]).is_none());
     }
 }

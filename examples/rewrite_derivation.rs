@@ -28,7 +28,7 @@ fn main() {
 
     // Apply the overlapped tiling rule with tile size u = 5 (so v = 3,
     // satisfying the constraint u − v = size − step = 2).
-    let tiled = tile_anywhere(&l.body, &ArithExpr::from(5), false).expect("rule applies");
+    let tiled = tile_anywhere(&l.body, &[ArithExpr::from(5)], false).expect("rule applies");
     println!("== after overlapped tiling (u = 5, v = 3) ==");
     println!("{}\n", tiled);
     println!("type: {}  (unchanged)\n", typecheck(&tiled).unwrap());

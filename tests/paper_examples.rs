@@ -101,7 +101,7 @@ fn tiling_parameter_constraint() {
         unreachable!()
     };
     let tiled =
-        lift::lift_rewrite::rules::tile_1d(&l.body, &ArithExpr::from(5), false).expect("tiles");
+        lift::lift_rewrite::rules::tile_nd(&l.body, &[ArithExpr::from(5)], false).expect("tiles");
     // Type preservation implies equal neighbourhood counts on both sides.
     assert_eq!(typecheck(&l.body).unwrap(), typecheck(&tiled).unwrap());
 }

@@ -125,8 +125,8 @@ fn second_compile_is_a_cache_hit_and_different_config_is_not() {
     assert_eq!(cache.stats().compiles, 2);
 
     // A different tunable value is a genuinely different kernel.
-    compile("tiled", &[("TS", 4), ("lx", 4), ("ly", 4)]);
-    compile("tiled", &[("TS", 12), ("lx", 4), ("ly", 4)]);
+    compile("tiled", &[("TS0", 4), ("TS1", 4), ("lx", 4), ("ly", 4)]);
+    compile("tiled", &[("TS0", 12), ("TS1", 4), ("lx", 4), ("ly", 4)]);
     assert_eq!(cache.stats().compiles, 4);
     assert_eq!(cache.len(), 4);
 }

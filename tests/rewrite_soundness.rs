@@ -9,7 +9,7 @@ use lift::lift_arith::ArithExpr;
 use lift::lift_core::eval::{eval_fun, DataValue};
 use lift::lift_core::prelude::*;
 use lift::lift_oclsim::{DeviceProfile, VirtualDevice};
-use lift::lift_rewrite::rules::{tile_1d, tile_2d};
+use lift::lift_rewrite::rules::tile_nd;
 use lift::Pipeline;
 
 struct Rng(lift::lift_tuner::SplitMix64);
@@ -74,7 +74,7 @@ fn tile_1d_sound() {
         let tiles = valid_tiles(n + 2);
         assert!(!tiles.is_empty(), "n + 2 itself is always a valid tile");
         let u = tiles[rng.below(1000) as usize % tiles.len()];
-        let Some(tiled_body) = tile_1d(&l.body, &ArithExpr::from(u), false) else {
+        let Some(tiled_body) = tile_nd(&l.body, &[ArithExpr::from(u)], false) else {
             continue;
         };
         let tiled = FunDecl::lambda(l.params.clone(), tiled_body);
@@ -105,7 +105,8 @@ fn tile_2d_sound() {
         let tiles = valid_tiles(n + 2);
         assert!(!tiles.is_empty());
         let u = tiles[rng.below(1000) as usize % tiles.len()];
-        let Some(tiled_body) = tile_2d(&l.body, &ArithExpr::from(u), use_local) else {
+        let us = [ArithExpr::from(u), ArithExpr::from(u)];
+        let Some(tiled_body) = tile_nd(&l.body, &us, use_local) else {
             continue;
         };
         let tiled = FunDecl::lambda(l.params.clone(), tiled_body);
@@ -166,13 +167,13 @@ fn tiled_kernel_matches_untiled_on_device() {
         .expect("compiles");
     let a = untiled.run(&[input.clone().into()]).expect("runs");
 
-    // The hand-derived rule application (tile_1d + explicit Wrg/Lcl
+    // The hand-derived rule application (tile_nd + explicit Wrg/Lcl
     // lowering) exercises the rewrite machinery below the pipeline.
     let prog = jacobi1d_prog(n);
     let FunDecl::Lambda(l) = &prog else {
         unreachable!()
     };
-    let tiled_body = tile_1d(&l.body, &ArithExpr::from(4), true).expect("tiles");
+    let tiled_body = tile_nd(&l.body, &[ArithExpr::from(4)], true).expect("tiles");
     let tiled_prog = FunDecl::lambda(l.params.clone(), tiled_body);
     let lowered = lift::lift_rewrite::lowering::lower_grid(
         match &tiled_prog {

@@ -1,0 +1,177 @@
+//! Rewrite soundness and cache behaviour for the 3D search space: every
+//! enumerated variant of every 3D Table-1 benchmark — including the
+//! rank-generic `tiled`/`tiled-local` derivations with independent
+//! per-dimension tile sizes — must agree with the reference evaluator, and
+//! the 3D kernels must round-trip through the kernel cache exactly like
+//! the 1D/2D ones.
+
+use std::sync::Arc;
+
+use lift::lift_core::eval::{eval_fun, DataValue};
+use lift::lift_oclsim::{BufferData, DeviceProfile, VirtualDevice};
+use lift::lift_rewrite::strategy::{bind_tunables, enumerate_variants};
+use lift::{KernelCache, Pipeline};
+
+fn tiny(sizes: &[usize]) -> Vec<usize> {
+    sizes.iter().map(|s| (*s).clamp(6, 8)).collect()
+}
+
+fn as_data(input: &[f32], sizes: &[usize]) -> DataValue {
+    match sizes.len() {
+        1 => DataValue::from_f32s(input.iter().copied()),
+        2 => DataValue::from_f32s_2d(input, sizes[0], sizes[1]),
+        3 => DataValue::from_f32s_3d(input, sizes[0], sizes[1], sizes[2]),
+        _ => unreachable!(),
+    }
+}
+
+fn close(a: &[f32], b: &[f32]) -> bool {
+    a.len() == b.len()
+        && a.iter()
+            .zip(b)
+            .all(|(x, y)| (x - y).abs() <= 1e-3 * y.abs().max(1.0))
+}
+
+/// Every enumerated variant of every 3D benchmark — with its tunables
+/// bound to the smallest valid values — evaluates to the golden reference
+/// under the semantic oracle. This is the acceptance gate for the
+/// rank-generic tiling path: a mis-derived 3D rewrite cannot hide behind
+/// the tuner discarding it.
+#[test]
+fn every_3d_variant_agrees_with_the_reference_evaluator() {
+    for bench in lift::lift_stencils::bench3d::benchmarks() {
+        let sizes = tiny(bench.small);
+        let inputs = bench.gen_inputs(&sizes, 17);
+        let golden = bench.golden(&inputs, &sizes);
+        let args: Vec<DataValue> = inputs.iter().map(|i| as_data(i, &sizes)).collect();
+
+        let variants = enumerate_variants(&bench.program(&sizes));
+        let names: Vec<&str> = variants.iter().map(|v| v.name.as_str()).collect();
+        for want in ["tiled", "tiled-local", "tiled-unroll", "tiled-local-unroll"] {
+            assert!(
+                names.contains(&want),
+                "{}: missing variant {want}, got {names:?}",
+                bench.name
+            );
+        }
+
+        for v in &variants {
+            // Per-dimension tile tunables for every tiled 3D variant.
+            if v.tiled {
+                let vars: Vec<&str> = v.tunables.iter().map(|t| t.var()).collect();
+                assert_eq!(
+                    vars,
+                    vec!["TS0", "TS1", "TS2"],
+                    "{}/{}: expected independent per-dimension tile sizes",
+                    bench.name,
+                    v.name
+                );
+            }
+            let values: Vec<(String, i64)> = v
+                .tunables
+                .iter()
+                .map(|t| {
+                    let c = t.candidates(64);
+                    assert!(!c.is_empty(), "{}/{}: no valid value", bench.name, v.name);
+                    (t.var().to_string(), c[0])
+                })
+                .collect();
+            let bound = if values.is_empty() {
+                v.program.clone()
+            } else {
+                bind_tunables(v, &values)
+                    .unwrap_or_else(|| panic!("{}/{}: binding failed", bench.name, v.name))
+            };
+            let out = eval_fun(&bound, &args)
+                .unwrap_or_else(|e| panic!("{}/{}: does not evaluate: {e}", bench.name, v.name));
+            assert!(
+                close(&out.flatten_f32(), &golden),
+                "{}/{} (bound {values:?}): diverges from the golden reference",
+                bench.name,
+                v.name
+            );
+        }
+    }
+}
+
+/// Non-cubic 3D grids tile with genuinely independent per-dimension tile
+/// sizes: Hotspot3D's 8×64×64 shape admits values for `TS1`/`TS2` that are
+/// invalid for `TS0`.
+#[test]
+fn non_cubic_3d_grids_tile_per_dimension() {
+    let bench = lift::lift_stencils::by_name("Hotspot3D");
+    let sizes = [6usize, 10, 14]; // padded 8×12×16
+    let variants = enumerate_variants(&bench.program(&sizes));
+    let tiled = variants.iter().find(|v| v.name == "tiled").expect("tiled");
+    let domains: Vec<Vec<i64>> = tiled.tunables.iter().map(|t| t.candidates(64)).collect();
+    assert_eq!(domains[0], vec![3, 4, 5, 8]); // len 8
+    assert_eq!(domains[1], vec![3, 4, 7, 12]); // len 12
+    assert_eq!(domains[2], vec![3, 4, 9, 16]); // len 16
+                                               // An asymmetric assignment binds and still matches the evaluator.
+    let inputs = bench.gen_inputs(&sizes, 5);
+    let golden = bench.golden(&inputs, &sizes);
+    let args: Vec<DataValue> = inputs.iter().map(|i| as_data(i, &sizes)).collect();
+    let bound = bind_tunables(
+        tiled,
+        &[("TS0".into(), 5), ("TS1".into(), 7), ("TS2".into(), 4)],
+    )
+    .expect("asymmetric tiles bind");
+    let out = eval_fun(&bound, &args).expect("evaluates");
+    assert!(close(&out.flatten_f32(), &golden));
+}
+
+/// The cache round trip for a 3D tiled-local kernel on every device
+/// profile: two identical sessions share one compilation, bit-exactly.
+#[test]
+fn tiled_3d_kernel_round_trips_through_the_cache_on_every_device() {
+    let cache = Arc::new(KernelCache::new());
+    let bench = lift::lift_stencils::by_name("Heat");
+    let sizes = [6usize, 6, 6];
+    let raw = bench.gen_inputs(&sizes, 29);
+    let golden = bench.golden(&raw, &sizes);
+    let inputs: Vec<BufferData> = raw.into_iter().map(BufferData::F32).collect();
+    let params: [(&str, i64); 6] = [
+        ("TS0", 4),
+        ("TS1", 4),
+        ("TS2", 4),
+        ("lx", 2),
+        ("ly", 2),
+        ("lz", 2),
+    ];
+
+    for profile in DeviceProfile::all() {
+        let dev = VirtualDevice::new(profile);
+        let session = |cache: Arc<KernelCache>| {
+            Pipeline::from_benchmark(&bench, &sizes)?
+                .explore()?
+                .on(&dev)
+                .with_cache(cache)
+                .with_config("tiled-local", &params)
+        };
+        let first = session(cache.clone()).expect("first session compiles");
+        assert!(first.tiled() && first.local_mem());
+        let compiles_after_first = cache.stats().compiles;
+        let out1 = first.run(&inputs).expect("first run");
+        assert!(
+            close(out1.output.as_f32(), &golden),
+            "{}: tiled-local diverges from golden",
+            dev.profile().name
+        );
+        assert!(out1.stats.local_accesses > 0, "local staging expected");
+        assert!(out1.stats.barriers > 0, "work-group barriers expected");
+
+        // Second session: zero recompiles, the very same kernel object.
+        let second = session(cache.clone()).expect("second session");
+        assert_eq!(
+            cache.stats().compiles,
+            compiles_after_first,
+            "{}: second session recompiled",
+            dev.profile().name
+        );
+        assert!(Arc::ptr_eq(first.kernel(), second.kernel()));
+        let out2 = second.run(&inputs).expect("second run");
+        assert_eq!(out1.output.as_f32(), out2.output.as_f32());
+    }
+    let stats = cache.stats();
+    assert!(stats.hits >= 3 && stats.compiles == 3, "sanity: {stats:?}");
+}
