@@ -73,6 +73,14 @@ impl KernelCache {
 
     /// Returns the kernel for `key`, compiling it with `compile` on a miss.
     ///
+    /// Concurrency: compilation runs outside the lock (codegen can be slow
+    /// and other keys should not wait on it), so two threads racing on the
+    /// same key may both compile. The map is re-checked under the lock
+    /// afterwards: exactly one insert wins and is counted in
+    /// [`CacheStats::compiles`]; the loser discards its duplicate, counts
+    /// as a hit, and — like every later caller — receives the *cached*
+    /// `Arc`, so all holders of one key share one kernel.
+    ///
     /// # Errors
     ///
     /// Propagates the compiler's error on a miss; a failed compilation is
@@ -86,12 +94,18 @@ impl KernelCache {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Ok(hit);
         }
-        // Compile outside the lock: codegen can be slow and other keys
-        // should not wait on it. A racing duplicate compile is harmless.
         let kernel = Arc::new(compile()?);
-        self.compiles.fetch_add(1, Ordering::Relaxed);
-        self.lock().entry(key).or_insert_with(|| kernel.clone());
-        Ok(kernel)
+        match self.lock().entry(key) {
+            std::collections::hash_map::Entry::Occupied(e) => {
+                // Lost the race: another thread inserted while we compiled.
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Ok(e.get().clone())
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                self.compiles.fetch_add(1, Ordering::Relaxed);
+                Ok(e.insert(kernel).clone())
+            }
+        }
     }
 
     /// Current counters.
@@ -230,6 +244,53 @@ mod tests {
             }
         );
         assert!(Arc::ptr_eq(&a, &b), "the very same kernel is shared");
+    }
+
+    #[test]
+    fn racing_compiles_count_once_and_share_the_cached_kernel() {
+        // N threads demand the same key simultaneously. Some may compile a
+        // duplicate, but exactly one insert wins, the counters stay exact
+        // (compiles == 1, everything else a hit) and every caller holds
+        // the very same Arc — under concurrent tuning a divergent kernel
+        // per thread would defeat both the counters and the sharing.
+        use std::sync::Barrier;
+        const N: usize = 8;
+        let cache = KernelCache::new();
+        let key = CacheKey {
+            program: 3,
+            variant: "global".into(),
+            params: vec![],
+            device: "test".into(),
+        };
+        let barrier = Barrier::new(N);
+        let kernels: Vec<Arc<Kernel>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..N)
+                .map(|_| {
+                    s.spawn(|| {
+                        barrier.wait();
+                        cache
+                            .get_or_compile(key.clone(), || {
+                                let prog = lam_named("A", Type::array(Type::f32(), 8), |a| {
+                                    map_glb(0, id(), a)
+                                });
+                                lift_codegen::compile_kernel("k", &prog).map_err(Into::into)
+                            })
+                            .expect("compiles")
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let stats = cache.stats();
+        assert_eq!(stats.compiles, 1, "only the winning insert is counted");
+        assert_eq!(stats.hits, (N - 1) as u64, "losers and late-comers hit");
+        assert_eq!(cache.len(), 1);
+        for k in &kernels[1..] {
+            assert!(
+                Arc::ptr_eq(&kernels[0], k),
+                "every caller must hold the cached kernel"
+            );
+        }
     }
 
     #[test]

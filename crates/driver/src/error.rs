@@ -55,6 +55,11 @@ pub enum LiftError {
         program: String,
         /// The device profile name.
         device: String,
+        /// The first failure each variant hit (variant name → error), in
+        /// exploration order — the diagnosis that used to be swallowed
+        /// when every evaluation collapsed to "no score". Empty only when
+        /// a variant proposed no evaluable configuration at all.
+        failures: Vec<(String, Box<LiftError>)>,
     },
     /// A kernel executed but produced results diverging from the reference.
     Validation {
@@ -86,8 +91,19 @@ impl fmt::Display for LiftError {
                 "unknown variant `{requested}`; exploration produced {available:?}"
             ),
             LiftError::InvalidConfig(m) => write!(f, "invalid configuration: {m}"),
-            LiftError::NoValidConfiguration { program, device } => {
-                write!(f, "no valid configuration found for {program} on {device}")
+            LiftError::NoValidConfiguration {
+                program,
+                device,
+                failures,
+            } => {
+                write!(f, "no valid configuration found for {program} on {device}")?;
+                if !failures.is_empty() {
+                    write!(f, "; first failure per variant:")?;
+                    for (variant, err) in failures {
+                        write!(f, " [`{variant}`: {err}]")?;
+                    }
+                }
+                Ok(())
             }
             LiftError::Validation { variant, detail } => {
                 write!(f, "variant `{variant}` failed validation: {detail}")
@@ -107,6 +123,9 @@ impl Error for LiftError {
             LiftError::Sim(e) => Some(e),
             LiftError::Arith(e) => Some(e),
             LiftError::Ppcg(e) => Some(e),
+            LiftError::NoValidConfiguration { failures, .. } => failures
+                .first()
+                .map(|(_, e)| &**e as &(dyn Error + 'static)),
             _ => None,
         }
     }

@@ -19,15 +19,25 @@
 //! ("TS1", 10), ("lx", 8), ("ly", 8)])?` — tiled variants carry one
 //! independent tile-size tunable per grid dimension.
 //!
-//! Three design decisions carry the crate:
+//! Four design decisions carry the crate:
 //!
 //! * **Unified errors** — every fallible stage returns
 //!   [`Result<_, LiftError>`]; [`LiftError`] wraps the seven per-crate
-//!   error types with [`std::error::Error::source`] chaining.
+//!   error types with [`std::error::Error::source`] chaining. When tuning
+//!   finds nothing valid, [`LiftError::NoValidConfiguration`] carries the
+//!   first failure each variant hit instead of a bare verdict.
 //! * **Kernel cache** — compilations are memoised process-wide in a
 //!   [`KernelCache`] keyed by (program fingerprint, variant, bound
 //!   parameters, device profile). Serving the same stencil twice compiles
-//!   once; see [`KernelCache::stats`].
+//!   once; see [`KernelCache::stats`]. The cache is safe under concurrent
+//!   tuning: racing threads on one key settle on a single cached kernel
+//!   and the compile counter counts only the winning insert.
+//! * **Parallel, deterministic tuning** — the search runs on the tuner's
+//!   batched ask/tell engine across [`TuneOptions::threads`] workers
+//!   (`LIFT_TUNE_THREADS` when unset), fanning out over variants and
+//!   configuration batches. Thread count never changes results: the same
+//!   seed yields identical winners, configurations and scores at any
+//!   parallelism.
 //! * **Baselines included** — [`reference_baseline`] (hand-written
 //!   kernels) and [`ppcg_baseline`] (the fixed polyhedral strategy) run
 //!   through the same machinery, which is how the harness regenerates the
@@ -40,7 +50,9 @@ mod tune;
 
 pub use cache::{CacheKey, CacheStats, KernelCache};
 pub use error::LiftError;
-pub use pipeline::{Budget, CompiledStencil, DeviceSession, Pipeline, TuneOutcome, VariantSet};
+pub use pipeline::{
+    Budget, CompiledStencil, DeviceSession, Pipeline, TuneOptions, TuneOutcome, VariantSet,
+};
 pub use tune::{ppcg_baseline, reference_baseline, BenchResult, TunedVariant};
 
 #[cfg(test)]
@@ -94,7 +106,13 @@ mod tests {
     fn ppcg_tunes_2d() {
         let bench = lift_stencils::by_name("Jacobi2D5pt");
         let dev = VirtualDevice::new(DeviceProfile::k20c());
-        let r = ppcg_baseline(&bench, &[18, 18], &dev, 6, 1).expect("ppcg result");
+        let r = ppcg_baseline(
+            &bench,
+            &[18, 18],
+            &dev,
+            TuneOptions::evaluations(6).with_seed(1),
+        )
+        .expect("ppcg result");
         assert!(r.tiled);
         assert!(r.time_s > 0.0);
     }
@@ -103,7 +121,13 @@ mod tests {
     fn ppcg_tunes_3d() {
         let bench = lift_stencils::by_name("Heat");
         let dev = VirtualDevice::new(DeviceProfile::mali_t628());
-        let r = ppcg_baseline(&bench, &[8, 8, 8], &dev, 4, 1).expect("ppcg result");
+        let r = ppcg_baseline(
+            &bench,
+            &[8, 8, 8],
+            &dev,
+            TuneOptions::evaluations(4).with_seed(1),
+        )
+        .expect("ppcg result");
         assert!(!r.tiled);
     }
 

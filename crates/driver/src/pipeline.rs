@@ -25,30 +25,46 @@ use crate::tune::{
     BenchResult, TuneContext,
 };
 
-/// The tuning budget: evaluations per variant and the search seed.
+/// Tuning options: the evaluation budget per variant, the search seed and
+/// the worker-thread count.
+///
+/// Threading only changes wall-clock, never results: for the same seed,
+/// `threads: 1` and `threads: N` produce identical winners, configurations
+/// and scores (the ask/tell engine proposes deterministically and applies
+/// scores in proposal order).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct Budget {
+pub struct TuneOptions {
     /// Tuner evaluations per (variant, device) pair.
     pub evaluations: usize,
     /// Seed for the deterministic search.
     pub seed: u64,
+    /// Worker threads for parallel evaluation across variants and
+    /// configuration batches. `0` (the default) defers to the
+    /// `LIFT_TUNE_THREADS` environment variable, falling back to 1
+    /// (sequential).
+    pub threads: usize,
 }
 
-impl Default for Budget {
+/// The historical name of [`TuneOptions`] (PR 1 introduced it as the
+/// "budget"); kept as an alias so existing sessions read naturally.
+pub type Budget = TuneOptions;
+
+impl Default for TuneOptions {
     fn default() -> Self {
-        Budget {
+        TuneOptions {
             evaluations: 10,
             seed: 2018, // the CGO year, as everywhere in this repo
+            threads: 0, // LIFT_TUNE_THREADS, else sequential
         }
     }
 }
 
-impl Budget {
+impl TuneOptions {
     /// A budget of `evaluations` per variant with the default seed.
     pub fn evaluations(evaluations: usize) -> Self {
-        Budget {
+        TuneOptions {
             evaluations,
-            ..Budget::default()
+            ..TuneOptions::default()
         }
     }
 
@@ -56,6 +72,25 @@ impl Budget {
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
         self
+    }
+
+    /// Sets the worker-thread count explicitly, overriding
+    /// `LIFT_TUNE_THREADS`. Passing `0` restores the default behaviour
+    /// (defer to the environment variable, else run sequentially) — it
+    /// does *not* mean "no threads".
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// The effective thread count: the explicit setting, else
+    /// `LIFT_TUNE_THREADS`, else 1.
+    pub fn resolved_threads(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            crate::tune::env_threads()
+        }
     }
 }
 
@@ -371,6 +406,7 @@ impl DeviceSession {
                 cache: self.cache(),
                 budget: budget.evaluations,
                 seed: budget.seed,
+                threads: budget.resolved_threads(),
             };
             tune_variants(&ctx, self.set.variants())?
         };

@@ -13,7 +13,7 @@ use lift_oclsim::{BufferData, LaunchConfig, VirtualDevice};
 use lift_rewrite::strategy::{bind_tunables, Tunable, Variant};
 use lift_stencils::refkernels::reference_kernel;
 use lift_stencils::Benchmark;
-use lift_tuner::{ParamSpace, ParamSpec, Tuner};
+use lift_tuner::{parallel_map, ParamSpace, ParamSpec, Search};
 
 use crate::cache::{program_fingerprint, CacheKey, KernelCache};
 use crate::error::LiftError;
@@ -69,22 +69,54 @@ pub(crate) struct TuneContext<'a> {
     pub cache: &'a KernelCache,
     pub budget: usize,
     pub seed: u64,
+    /// Worker threads for parallel evaluation (1 = fully sequential). The
+    /// thread count never changes results — only wall-clock.
+    pub threads: usize,
+}
+
+/// The `LIFT_TUNE_THREADS` fallback used when no explicit thread count was
+/// configured (see `TuneOptions::threads`).
+pub(crate) fn env_threads() -> usize {
+    std::env::var("LIFT_TUNE_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|n| *n > 0)
+        .unwrap_or(1)
 }
 
 fn round_up(n: usize, m: usize) -> usize {
     n.div_ceil(m) * m
 }
 
-/// Work-group size candidates per dimensionality.
+/// Work-group size candidates per dimensionality, derived from the device
+/// profile's `max_wg_size`.
+///
+/// The preferred windows (e.g. 8–64 × 4–32 in 2D) assume a device that
+/// admits at least a 32-wide group; on smaller devices they would make
+/// *every* configuration violate the work-group constraint and tuning
+/// would report `NoValidConfiguration`, so the per-dimension pow2 bounds
+/// are clamped to `max_wg_size` and the lower bounds open down to 1.
 fn local_space(dims: usize, max_wg: usize) -> Vec<ParamSpec> {
+    let m = (max_wg as i64).max(1);
+    let dim = |name: &str, lo: i64, hi: i64| ParamSpec::pow2(name, lo.min(m), hi.min(m));
     match dims {
-        1 => vec![ParamSpec::pow2("lx", 32, max_wg as i64)],
-        2 => vec![ParamSpec::pow2("lx", 8, 64), ParamSpec::pow2("ly", 4, 32)],
-        _ => vec![
-            ParamSpec::pow2("lx", 8, 64),
-            ParamSpec::pow2("ly", 2, 16),
-            ParamSpec::new("lz", vec![1, 2]),
-        ],
+        1 => vec![dim("lx", 32, m)],
+        2 => {
+            let (lx_lo, ly_lo) = if m >= 32 { (8, 4) } else { (1, 1) };
+            vec![dim("lx", lx_lo, 64), dim("ly", ly_lo, 32)]
+        }
+        _ => {
+            let (lx_lo, ly_lo) = if m >= 16 { (8, 2) } else { (1, 1) };
+            let mut lz = vec![1];
+            if m >= 2 {
+                lz.push(2);
+            }
+            vec![
+                dim("lx", lx_lo, 64),
+                dim("ly", ly_lo, 16),
+                ParamSpec::new("lz", lz),
+            ]
+        }
     }
 }
 
@@ -146,9 +178,13 @@ pub(crate) fn launch_for(
                 ly,
             )),
             _ => {
-                // The z dimension may be strip-mined away ("ppcg" style):
-                // detect via the variant name.
-                let gz = if variant.name == "ppcg" {
+                // A strip-mined z dimension (the PPCG 3D mapping) runs as a
+                // sequential per-thread loop: the global z size stays one
+                // group deep instead of covering the output extent. The
+                // variant declares this explicitly — matching on its *name*
+                // would silently mis-launch any future strip-mining
+                // lowering introduced under a different name.
+                let gz = if variant.strip_mined_z {
                     lz
                 } else {
                     round_up(oz, lz)
@@ -220,16 +256,18 @@ pub(crate) fn outputs_match(got: &[f32], want: &[f32]) -> bool {
 }
 
 /// Compiles and executes one bound configuration, returning the modeled
-/// time if it runs and validates. All failures score as `None`: during a
-/// search, a configuration that does not compile, launch or validate is
-/// simply worthless, not fatal.
+/// time if it runs and validates. During a search a failing configuration
+/// is worthless, not fatal — but the *cause* is returned rather than
+/// swallowed, so when not a single configuration works the resulting
+/// [`LiftError::NoValidConfiguration`] can say why (the first failure per
+/// variant is kept in its detail/source chain).
 fn evaluate_config(
     ctx: &TuneContext<'_>,
     variant: &Variant,
     variant_fp: u64,
     cfg: &[(String, i64)],
     validate: bool,
-) -> Option<f64> {
+) -> Result<f64, LiftError> {
     let tun_values: Vec<(String, i64)> = variant
         .tunables
         .iter()
@@ -242,7 +280,10 @@ fn evaluate_config(
             .find(|t| t.var() == n)
             .is_some_and(|t| !t.is_valid(*v))
     }) {
-        return None;
+        return Err(LiftError::InvalidConfig(format!(
+            "tunable values {tun_values:?} are invalid for variant `{}`",
+            variant.name
+        )));
     }
     let kernel = compile_bound(
         ctx.cache,
@@ -251,34 +292,75 @@ fn evaluate_config(
         variant,
         variant_fp,
         &tun_values,
-    )
-    .ok()?;
-    let launch = launch_for(variant, &ctx.out_sizes, cfg)?;
-    let out = ctx.device.run(&kernel, &ctx.inputs, launch).ok()?;
+    )?;
+    let launch = launch_for(variant, &ctx.out_sizes, cfg).ok_or_else(|| {
+        LiftError::InvalidConfig(format!(
+            "cannot derive a launch configuration for `{}` from {cfg:?}",
+            variant.name
+        ))
+    })?;
+    let out = ctx.device.run(&kernel, &ctx.inputs, launch)?;
     if validate {
         if let Some(golden) = &ctx.golden {
             if !outputs_match(out.output.as_f32(), golden) {
-                return None;
+                return Err(LiftError::Validation {
+                    variant: variant.name.clone(),
+                    detail: format!("output diverges from the golden reference under {cfg:?}"),
+                });
             }
         }
     }
-    Some(out.time_s)
+    Ok(out.time_s)
+}
+
+/// The outcome of tuning one variant: the best configuration (when any
+/// worked) and the first failure hit (when any failed) — kept so an
+/// all-variants-failed run can report *why* instead of a bare
+/// "no valid configuration".
+pub(crate) struct VariantOutcome {
+    pub tuned: Option<TunedVariant>,
+    pub first_failure: Option<LiftError>,
 }
 
 /// Tunes every variant and returns the per-variant bests plus the winner.
 ///
+/// Variants are tuned concurrently on up to `ctx.threads` workers, each
+/// evaluating its configuration batches on the remaining share of the
+/// thread budget. Results are identical to the sequential sweep for the
+/// same seed: every variant searches its own deterministic stream, the
+/// bests are collected in exploration order, and the winner tie-breaks by
+/// (time, exploration index).
+///
 /// # Errors
 ///
 /// [`LiftError::NoValidConfiguration`] when not a single variant produced a
-/// configuration that compiles, runs and validates.
+/// configuration that compiles, runs and validates; its `failures` carry
+/// the first error each variant hit.
 pub(crate) fn tune_variants(
     ctx: &TuneContext<'_>,
     variants: &[Variant],
 ) -> Result<BenchResult, LiftError> {
+    let outer = ctx.threads.min(variants.len()).max(1);
+    // Distribute the whole thread budget: every variant worker gets the
+    // base share and the first `extra` ones absorb the remainder, so e.g.
+    // 8 threads over 5 variants run as 3×2 + 2×1 workers instead of
+    // stranding 3 threads. Worker counts never affect results.
+    let base = (ctx.threads / outer).max(1);
+    let extra = ctx.threads.saturating_sub(base * outer);
+    let indexed: Vec<(usize, &Variant)> = variants.iter().enumerate().collect();
+    let outcomes = parallel_map(outer, indexed, |(i, v)| {
+        tune_variant_batched(ctx, v, base + usize::from(i < extra))
+    });
     let mut all = Vec::new();
-    for variant in variants {
-        if let Some(t) = tune_variant(ctx, variant) {
-            all.push(t);
+    let mut failures = Vec::new();
+    for (variant, outcome) in variants.iter().zip(outcomes) {
+        match outcome.tuned {
+            Some(t) => all.push(t),
+            None => {
+                if let Some(e) = outcome.first_failure {
+                    failures.push((variant.name.clone(), Box::new(e)));
+                }
+            }
         }
     }
     let winner = all
@@ -288,6 +370,7 @@ pub(crate) fn tune_variants(
         .ok_or_else(|| LiftError::NoValidConfiguration {
             program: ctx.name.clone(),
             device: ctx.device.profile().name.to_string(),
+            failures,
         })?;
     Ok(BenchResult {
         bench: ctx.name.clone(),
@@ -298,9 +381,25 @@ pub(crate) fn tune_variants(
     })
 }
 
-/// Tunes one variant; `None` when no configuration of this variant is
-/// valid (other variants may still win).
-pub(crate) fn tune_variant(ctx: &TuneContext<'_>, variant: &Variant) -> Option<TunedVariant> {
+/// Tunes one variant on `ctx.threads` evaluation workers.
+pub(crate) fn tune_variant(ctx: &TuneContext<'_>, variant: &Variant) -> VariantOutcome {
+    tune_variant_batched(ctx, variant, ctx.threads.max(1))
+}
+
+/// Tunes one variant with the batched ask/tell engine, evaluating each
+/// batch on up to `eval_threads` workers. `tuned` is `None` when no
+/// configuration of this variant is valid (other variants may still win);
+/// `first_failure` then explains the earliest proposal's failure.
+///
+/// Determinism: [`Search`] proposes from the seed's RNG stream regardless
+/// of batch size, tells are applied in proposal order, and the first
+/// failure is recorded in proposal order — so any `eval_threads` produces
+/// the identical outcome.
+fn tune_variant_batched(
+    ctx: &TuneContext<'_>,
+    variant: &Variant,
+    eval_threads: usize,
+) -> VariantOutcome {
     let max_wg = ctx.device.profile().max_wg_size;
     let variant_fp = program_fingerprint(&variant.program);
     let mut specs = Vec::new();
@@ -317,7 +416,14 @@ pub(crate) fn tune_variant(ctx: &TuneContext<'_>, variant: &Variant) -> Option<T
             cands.retain(|u| *u >= nbh_size + 3);
         }
         if cands.is_empty() {
-            return None;
+            return VariantOutcome {
+                tuned: None,
+                first_failure: Some(LiftError::InvalidConfig(format!(
+                    "tunable `{}` of variant `{}` has no usable candidate values",
+                    t.var(),
+                    variant.name
+                ))),
+            };
         }
         specs.push(ParamSpec::new(t.var().to_string(), cands));
     }
@@ -337,25 +443,56 @@ pub(crate) fn tune_variant(ctx: &TuneContext<'_>, variant: &Variant) -> Option<T
     let validate = std::env::var("LIFT_NO_VALIDATE")
         .map(|v| v != "1")
         .unwrap_or(true);
-    let tuner = Tuner::new(space, ctx.budget).with_seed(ctx.seed ^ hash(&variant.name));
-    let result = tuner.run(|cfg| {
-        let named: Vec<(String, i64)> = names.iter().cloned().zip(cfg.iter().copied()).collect();
-        evaluate_config(ctx, variant, variant_fp, &named, validate)
+    let mut search = Search::new(space, ctx.budget, ctx.seed ^ hash(&variant.name));
+    let mut first_failure: Option<LiftError> = None;
+    loop {
+        // A batch slightly larger than the worker count keeps the pool fed
+        // without changing results (batch size never does).
+        let batch = search.ask(eval_threads * 2);
+        if batch.is_empty() {
+            break;
+        }
+        let evaluated = parallel_map(eval_threads, batch, |cfg| {
+            let named: Vec<(String, i64)> =
+                names.iter().cloned().zip(cfg.iter().copied()).collect();
+            let score = evaluate_config(ctx, variant, variant_fp, &named, validate);
+            (cfg, score)
+        });
+        // Tell in batch order == proposal order: the trace, incumbent and
+        // recorded first failure stay deterministic.
+        for (cfg, score) in evaluated {
+            match score {
+                Ok(s) => search.tell(&cfg, Some(s)),
+                Err(e) => {
+                    if first_failure.is_none() {
+                        first_failure = Some(e);
+                    }
+                    search.tell(&cfg, None);
+                }
+            }
+        }
+    }
+    let evaluations = search.evaluations();
+    let result = search.into_result();
+    let tuned = result.best.and_then(|best| {
+        let config: Vec<(String, i64)> = names.into_iter().zip(best.values).collect();
+        let launch = launch_for(variant, &ctx.out_sizes, &config)?;
+        let out_elems: usize = ctx.out_sizes.iter().product();
+        Some(TunedVariant {
+            name: variant.name.clone(),
+            time_s: best.score,
+            gelems_per_s: out_elems as f64 / best.score / 1e9,
+            config,
+            launch: (launch.global, launch.local),
+            tiled: variant.tiled,
+            local_mem: variant.local_mem,
+            evaluations,
+        })
     });
-    let best = result.best?;
-    let config: Vec<(String, i64)> = names.into_iter().zip(best.values).collect();
-    let launch = launch_for(variant, &ctx.out_sizes, &config)?;
-    let out_elems: usize = ctx.out_sizes.iter().product();
-    Some(TunedVariant {
-        name: variant.name.clone(),
-        time_s: best.score,
-        gelems_per_s: out_elems as f64 / best.score / 1e9,
-        config,
-        launch: (launch.global, launch.local),
-        tiled: variant.tiled,
-        local_mem: variant.local_mem,
-        evaluations: result.evaluations,
-    })
+    VariantOutcome {
+        tuned,
+        first_failure,
+    }
 }
 
 /// Fingerprint of a variant's lowered program (cache key component).
@@ -396,6 +533,7 @@ pub(crate) fn ppcg_variant(prog: &lift_core::expr::FunDecl) -> Result<Variant, L
         tiled: k.dims == 2,
         local_mem: k.dims == 2,
         unrolled: false,
+        strip_mined_z: k.strip_mined_z,
     })
 }
 
@@ -409,12 +547,11 @@ pub fn ppcg_baseline(
     bench: &Benchmark,
     sizes: &[usize],
     dev: &VirtualDevice,
-    budget: usize,
-    seed: u64,
+    opts: crate::TuneOptions,
 ) -> Result<TunedVariant, LiftError> {
     let prog = bench.program(sizes);
     let variant = ppcg_variant(&prog)?;
-    let inputs = bench_inputs(bench, sizes, seed);
+    let inputs = bench_inputs(bench, sizes, opts.seed);
     let golden = bench_golden(bench, &inputs, sizes);
     let ctx = TuneContext {
         name: bench.name.to_string(),
@@ -423,13 +560,22 @@ pub fn ppcg_baseline(
         golden: Some(golden),
         device: dev,
         cache: KernelCache::global(),
-        budget,
-        seed,
+        budget: opts.evaluations,
+        seed: opts.seed,
+        threads: opts.resolved_threads(),
     };
-    tune_variant(&ctx, &variant).ok_or_else(|| LiftError::NoValidConfiguration {
-        program: format!("{} (ppcg)", bench.name),
-        device: dev.profile().name.to_string(),
-    })
+    let outcome = tune_variant(&ctx, &variant);
+    outcome
+        .tuned
+        .ok_or_else(|| LiftError::NoValidConfiguration {
+            program: format!("{} (ppcg)", bench.name),
+            device: dev.profile().name.to_string(),
+            failures: outcome
+                .first_failure
+                .into_iter()
+                .map(|e| ("ppcg".to_string(), Box::new(e)))
+                .collect(),
+        })
 }
 
 /// Executes the hand-written reference kernel for a Fig. 7 benchmark (no

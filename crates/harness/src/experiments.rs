@@ -1,27 +1,45 @@
 //! The paper's experiments: Table 1, Figure 7, Figure 8 and the ablation
 //! study over the rewrite rules — all driven through the staged
 //! [`Pipeline`] API.
+//!
+//! Every sweep distributes its (benchmark, device) grid over
+//! [`parallel_map`] workers: the work list is built up front in the
+//! sequential iteration order, rows come back in that same order, and each
+//! cell tunes with its own deterministic seed — so `LIFT_TUNE_THREADS=8`
+//! regenerates byte-identical reports, just sooner.
 
 use lift_driver::{ppcg_baseline, reference_baseline, Budget, LiftError, Pipeline};
 use lift_oclsim::{DeviceProfile, VirtualDevice};
 use lift_stencils::{by_name, fig7_names, fig8_names, suite, Benchmark};
+use lift_tuner::parallel_map;
 
-use crate::{seed, tune_budget};
+use crate::{seed, threads, tune_budget};
 
 fn budget() -> Budget {
     Budget::evaluations(tune_budget()).with_seed(seed())
 }
 
-/// Explore + tune one benchmark on one device through the pipeline.
+/// Splits a thread budget between the sweep (`outer` workers over grid
+/// cells) and each cell's tuner (the remaining share), so a sweep of many
+/// cells parallelises across them while a single-cell run parallelises
+/// inside the search.
+fn split_budget(budget: usize, cells: usize) -> (usize, usize) {
+    let outer = budget.min(cells).max(1);
+    (outer, (budget / outer).max(1))
+}
+
+/// Explore + tune one benchmark on one device through the pipeline, with
+/// `tuner_threads` workers evaluating configuration batches.
 fn tune(
     bench: &Benchmark,
     sizes: &[usize],
     dev: &VirtualDevice,
+    tuner_threads: usize,
 ) -> Result<lift_driver::BenchResult, LiftError> {
     Ok(Pipeline::from_benchmark(bench, sizes)?
         .explore()?
         .on(dev)
-        .tune_full(budget())?
+        .tune_full(budget().with_threads(tuner_threads))?
         .report)
 }
 
@@ -49,25 +67,34 @@ pub struct Fig7Row {
 /// Any [`LiftError`] from the pipeline — tuning that finds no valid
 /// configuration, or a reference kernel that fails to run or validate.
 pub fn fig7() -> Result<Vec<Fig7Row>, LiftError> {
-    let mut rows = Vec::new();
-    for dev_profile in DeviceProfile::all() {
-        let dev = VirtualDevice::new(dev_profile);
-        for name in fig7_names() {
-            let bench = by_name(name);
-            let sizes = bench.size(false);
-            let lift = tune(&bench, &sizes, &dev)?;
-            let reference = reference_baseline(&bench, &sizes, &dev, seed())?;
-            rows.push(Fig7Row {
-                bench: name.to_string(),
-                device: dev.profile().name.to_string(),
-                lift_gelems: lift.winner.gelems_per_s,
-                reference_gelems: reference.gelems_per_s,
-                lift_variant: lift.winner.name.clone(),
-                lift_tiled: lift.winner.tiled,
-            });
-        }
-    }
-    Ok(rows)
+    fig7_with(threads())
+}
+
+/// [`fig7`] under an explicit thread budget (used by the `all` command to
+/// share the budget across concurrently-generated sections).
+pub fn fig7_with(thread_budget: usize) -> Result<Vec<Fig7Row>, LiftError> {
+    let work: Vec<(DeviceProfile, &'static str)> = DeviceProfile::all()
+        .into_iter()
+        .flat_map(|d| fig7_names().into_iter().map(move |n| (d.clone(), n)))
+        .collect();
+    let (outer, inner) = split_budget(thread_budget, work.len());
+    parallel_map(outer, work, |(profile, name)| {
+        let dev = VirtualDevice::new(profile);
+        let bench = by_name(name);
+        let sizes = bench.size(false);
+        let lift = tune(&bench, &sizes, &dev, inner)?;
+        let reference = reference_baseline(&bench, &sizes, &dev, seed())?;
+        Ok(Fig7Row {
+            bench: name.to_string(),
+            device: dev.profile().name.to_string(),
+            lift_gelems: lift.winner.gelems_per_s,
+            reference_gelems: reference.gelems_per_s,
+            lift_variant: lift.winner.name.clone(),
+            lift_tiled: lift.winner.tiled,
+        })
+    })
+    .into_iter()
+    .collect()
 }
 
 /// One cell of Figure 8: the Lift speedup over PPCG.
@@ -97,32 +124,51 @@ pub struct Fig8Row {
 /// cannot compile is skipped (not an error), matching the paper's
 /// "PPCG-expressible subset" framing.
 pub fn fig8() -> Result<Vec<Fig8Row>, LiftError> {
-    let mut rows = Vec::new();
+    fig8_with(threads())
+}
+
+/// [`fig8`] under an explicit thread budget.
+pub fn fig8_with(thread_budget: usize) -> Result<Vec<Fig8Row>, LiftError> {
+    // The work list mirrors the sequential iteration order, with the
+    // paper's ARM large-size skip applied up front.
+    let mut work: Vec<(DeviceProfile, &'static str, &'static str, bool)> = Vec::new();
     for dev_profile in DeviceProfile::all() {
-        let dev = VirtualDevice::new(dev_profile);
-        let is_arm = dev.profile().name.contains("Mali");
+        let is_arm = dev_profile.name.contains("Mali");
         for name in fig8_names() {
-            let bench = by_name(name);
             for (size_name, large) in [("small", false), ("large", true)] {
                 if large && is_arm {
                     continue;
                 }
-                let sizes = bench.size(large);
-                let lift = tune(&bench, &sizes, &dev)?;
-                let ppcg = match ppcg_baseline(&bench, &sizes, &dev, tune_budget(), seed()) {
-                    Ok(p) => p,
-                    Err(LiftError::Ppcg(_)) => continue,
-                    Err(e) => return Err(e),
-                };
-                rows.push(Fig8Row {
-                    bench: name.to_string(),
-                    device: dev.profile().name.to_string(),
-                    size: size_name,
-                    speedup: ppcg.time_s / lift.winner.time_s,
-                    lift_variant: lift.winner.name.clone(),
-                    lift_tiled: lift.winner.tiled,
-                });
+                work.push((dev_profile.clone(), name, size_name, large));
             }
+        }
+    }
+    let (outer, inner) = split_budget(thread_budget, work.len());
+    let cells = parallel_map(outer, work, |(profile, name, size_name, large)| {
+        let dev = VirtualDevice::new(profile);
+        let bench = by_name(name);
+        let sizes = bench.size(large);
+        let lift = tune(&bench, &sizes, &dev, inner)?;
+        let ppcg = match ppcg_baseline(&bench, &sizes, &dev, budget().with_threads(inner)) {
+            Ok(p) => p,
+            // A benchmark the PPCG strategy cannot compile is skipped, not
+            // an error — the paper's "PPCG-expressible subset" framing.
+            Err(LiftError::Ppcg(_)) => return Ok(None),
+            Err(e) => return Err(e),
+        };
+        Ok(Some(Fig8Row {
+            bench: name.to_string(),
+            device: dev.profile().name.to_string(),
+            size: size_name,
+            speedup: ppcg.time_s / lift.winner.time_s,
+            lift_variant: lift.winner.name.clone(),
+            lift_tiled: lift.winner.tiled,
+        }))
+    });
+    let mut rows = Vec::new();
+    for cell in cells {
+        if let Some(row) = cell? {
+            rows.push(row);
         }
     }
     Ok(rows)
@@ -151,24 +197,47 @@ pub struct AblationRow {
 ///
 /// Any [`LiftError`] from the pipeline.
 pub fn ablation(bench_names: &[&str]) -> Result<Vec<AblationRow>, LiftError> {
-    let mut rows = Vec::new();
-    for dev_profile in DeviceProfile::all() {
-        let dev = VirtualDevice::new(dev_profile);
-        for name in bench_names {
-            let bench = by_name(name);
-            let sizes = bench.size(false);
-            let result = tune(&bench, &sizes, &dev)?;
-            let best = result.winner.gelems_per_s;
-            for v in &result.all {
-                rows.push(AblationRow {
+    ablation_with(bench_names, threads())
+}
+
+/// [`ablation`] under an explicit thread budget.
+pub fn ablation_with(
+    bench_names: &[&str],
+    thread_budget: usize,
+) -> Result<Vec<AblationRow>, LiftError> {
+    let work: Vec<(DeviceProfile, String)> = DeviceProfile::all()
+        .into_iter()
+        .flat_map(|d| {
+            bench_names
+                .iter()
+                .map(move |n| (d.clone(), n.to_string()))
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    let (outer, inner) = split_budget(thread_budget, work.len());
+    let cells = parallel_map(outer, work, |(profile, name)| {
+        let dev = VirtualDevice::new(profile);
+        let bench = by_name(&name);
+        let sizes = bench.size(false);
+        let result = tune(&bench, &sizes, &dev, inner)?;
+        let best = result.winner.gelems_per_s;
+        Ok::<Vec<AblationRow>, LiftError>(
+            result
+                .all
+                .iter()
+                .map(|v| AblationRow {
                     bench: name.to_string(),
                     device: dev.profile().name.to_string(),
                     variant: v.name.clone(),
                     gelems: v.gelems_per_s,
                     rel_to_best: v.gelems_per_s / best,
-                });
-            }
-        }
+                })
+                .collect(),
+        )
+    });
+    let mut rows = Vec::new();
+    for cell in cells {
+        rows.extend(cell?);
     }
     Ok(rows)
 }
@@ -213,23 +282,32 @@ pub fn bench_one(name: &str, large: bool) -> Result<Vec<BenchRow>, LiftError> {
         .find(|b| b.name == name)
         .ok_or_else(|| LiftError::UnknownBenchmark(name.to_string()))?;
     let sizes = bench.size(large);
+    let work: Vec<DeviceProfile> = DeviceProfile::all().into_iter().collect();
+    let (outer, inner) = split_budget(threads(), work.len());
+    let cells = parallel_map(outer, work, |profile| {
+        let dev = VirtualDevice::new(profile);
+        let result = tune(&bench, &sizes, &dev, inner)?;
+        Ok::<Vec<BenchRow>, LiftError>(
+            result
+                .all
+                .iter()
+                .map(|v| BenchRow {
+                    bench: name.to_string(),
+                    device: dev.profile().name.to_string(),
+                    variant: v.name.clone(),
+                    time_s: v.time_s,
+                    gelems: v.gelems_per_s,
+                    config: v.config.clone(),
+                    winner: v.name == result.winner.name,
+                    tiled: v.tiled,
+                    local_mem: v.local_mem,
+                })
+                .collect(),
+        )
+    });
     let mut rows = Vec::new();
-    for dev_profile in DeviceProfile::all() {
-        let dev = VirtualDevice::new(dev_profile);
-        let result = tune(&bench, &sizes, &dev)?;
-        for v in &result.all {
-            rows.push(BenchRow {
-                bench: name.to_string(),
-                device: dev.profile().name.to_string(),
-                variant: v.name.clone(),
-                time_s: v.time_s,
-                gelems: v.gelems_per_s,
-                config: v.config.clone(),
-                winner: v.name == result.winner.name,
-                tiled: v.tiled,
-                local_mem: v.local_mem,
-            });
-        }
+    for cell in cells {
+        rows.extend(cell?);
     }
     Ok(rows)
 }

@@ -7,6 +7,10 @@
 //! Environment knobs (all optional):
 //!
 //! * `LIFT_TUNE_BUDGET` — evaluations per (variant, device); default 10.
+//! * `LIFT_TUNE_THREADS` — worker threads for the sweep and the tuner
+//!   (also settable with the binary's `--threads N` flag); default 1.
+//!   Threading changes wall-clock only: any thread count reproduces the
+//!   sequential results bit-for-bit for the same seed.
 //! * `LIFT_FULL_SIZES=1` — use the paper's original grid sizes (slow).
 //! * `LIFT_SEED` — experiment seed; default 2018 (the CGO year).
 
@@ -14,9 +18,11 @@ pub mod experiments;
 pub mod report;
 
 pub use experiments::{
-    ablation, bench_one, fig7, fig8, table1, AblationRow, BenchRow, Fig7Row, Fig8Row, Table1Row,
+    ablation, ablation_with, bench_one, fig7, fig7_with, fig8, fig8_with, table1, AblationRow,
+    BenchRow, Fig7Row, Fig8Row, Table1Row,
 };
 pub use lift_driver::{BenchResult, LiftError, Pipeline, TunedVariant};
+pub use lift_tuner::parallel_map;
 
 /// The tuning budget per variant/device pair.
 pub fn tune_budget() -> usize {
@@ -32,4 +38,12 @@ pub fn seed() -> u64 {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(2018)
+}
+
+/// Worker threads for the benchmark sweep and the tuner
+/// (`LIFT_TUNE_THREADS`, default 1 = fully sequential). Delegates to the
+/// driver's resolver so the sweep fan-out and the tuner always agree on
+/// the effective count.
+pub fn threads() -> usize {
+    lift_driver::TuneOptions::default().resolved_threads()
 }

@@ -9,7 +9,13 @@
 //! lift-harness bench <name> --large   # …at the large grid size
 //! lift-harness all                # every experiment above
 //! lift-harness --json fig7        # machine-readable output for CI
+//! lift-harness --threads 8 all    # parallel sweep (same results, sooner)
 //! ```
+//!
+//! `--threads N` (equivalently `LIFT_TUNE_THREADS=N`) fans the benchmark ×
+//! device sweep and the tuner's configuration batches out over `N` workers.
+//! Results are bit-identical to `--threads 1` for the same seed — only
+//! wall-clock changes.
 //!
 //! Exit codes: 0 on success, 1 when an experiment fails (e.g. no valid
 //! configuration for a benchmark — a broken compiler must fail CI), 2 for
@@ -19,9 +25,41 @@ use lift_harness::report::{
     json_ablation, json_bench, json_fig7, json_fig8, json_table1, render_ablation, render_bench,
     render_fig7, render_fig8, render_table1,
 };
-use lift_harness::{ablation, bench_one, fig7, fig8, table1, LiftError};
+use lift_harness::{
+    ablation_with, bench_one, fig7_with, fig8_with, parallel_map, table1, threads, LiftError,
+};
 
 const ABLATION_BENCHES: [&str; 2] = ["Jacobi2D5pt", "Jacobi3D7pt"];
+
+/// Renders one experiment to its output document, sweeping on up to
+/// `thread_budget` workers.
+fn section(cmd: &str, json: bool, thread_budget: usize) -> Result<String, LiftError> {
+    Ok(match (cmd, json) {
+        ("table1", true) => json_table1(&table1()),
+        ("table1", false) => render_table1(&table1()),
+        ("fig7", true) => json_fig7(&fig7_with(thread_budget)?),
+        ("fig7", false) => render_fig7(&fig7_with(thread_budget)?),
+        ("fig8", true) => json_fig8(&fig8_with(thread_budget)?),
+        ("fig8", false) => render_fig8(&fig8_with(thread_budget)?),
+        ("ablation", true) => json_ablation(&ablation_with(&ABLATION_BENCHES, thread_budget)?),
+        ("ablation", false) => render_ablation(&ablation_with(&ABLATION_BENCHES, thread_budget)?),
+        _ => unreachable!("callers dispatch only known experiments"),
+    })
+}
+
+/// Renders the four `all` sections, generating them concurrently when a
+/// thread budget allows — each section is an independent sweep, so this
+/// overlaps e.g. Figure 7's tuning with the ablation study's. The budget
+/// is *divided* across the concurrent sections (each sweep splits its
+/// share further), not handed to every layer in full.
+fn all_sections(json: bool) -> Result<Vec<String>, LiftError> {
+    let cmds = vec!["table1", "fig7", "fig8", "ablation"];
+    let concurrent = threads().min(cmds.len()).max(1);
+    let share = (threads() / concurrent).max(1);
+    parallel_map(concurrent, cmds, |cmd| section(cmd, json, share))
+        .into_iter()
+        .collect()
+}
 
 fn run_bench(name: &str, large: bool, json: bool) -> Result<(), LiftError> {
     let rows = bench_one(name, large)?;
@@ -38,66 +76,24 @@ fn run_bench(name: &str, large: bool, json: bool) -> Result<(), LiftError> {
 
 fn run(cmd: &str, json: bool) -> Result<(), LiftError> {
     match cmd {
-        "table1" => {
-            let rows = table1();
-            print!(
-                "{}",
-                if json {
-                    json_table1(&rows)
-                } else {
-                    render_table1(&rows)
-                }
-            );
-        }
-        "fig7" => {
-            let rows = fig7()?;
-            print!(
-                "{}",
-                if json {
-                    json_fig7(&rows)
-                } else {
-                    render_fig7(&rows)
-                }
-            );
-        }
-        "fig8" => {
-            let rows = fig8()?;
-            print!(
-                "{}",
-                if json {
-                    json_fig8(&rows)
-                } else {
-                    render_fig8(&rows)
-                }
-            );
-        }
-        "ablation" => {
-            let rows = ablation(&ABLATION_BENCHES)?;
-            print!(
-                "{}",
-                if json {
-                    json_ablation(&rows)
-                } else {
-                    render_ablation(&rows)
-                }
-            );
-        }
+        "table1" | "fig7" | "fig8" | "ablation" => print!("{}", section(cmd, json, threads())?),
         "all" if json => {
             // One parseable document, not four concatenated arrays.
+            let s = all_sections(true)?;
             print!(
                 "{{\n\"table1\": {},\n\"fig7\": {},\n\"fig8\": {},\n\"ablation\": {}\n}}\n",
-                json_table1(&table1()).trim_end(),
-                json_fig7(&fig7()?).trim_end(),
-                json_fig8(&fig8()?).trim_end(),
-                json_ablation(&ablation(&ABLATION_BENCHES)?).trim_end()
+                s[0].trim_end(),
+                s[1].trim_end(),
+                s[2].trim_end(),
+                s[3].trim_end()
             );
         }
         "all" => {
-            for (i, sub) in ["table1", "fig7", "fig8", "ablation"].iter().enumerate() {
+            for (i, s) in all_sections(false)?.iter().enumerate() {
                 if i > 0 {
                     println!();
                 }
-                run(sub, json)?;
+                print!("{s}");
             }
         }
         other => {
@@ -113,13 +109,38 @@ fn run(cmd: &str, json: bool) -> Result<(), LiftError> {
 fn main() {
     let mut json = false;
     let mut large = false;
+    let mut threads_flag: Option<String> = None;
+    let mut expect_threads = false;
     let mut positional: Vec<String> = Vec::new();
     for arg in std::env::args().skip(1) {
+        if expect_threads {
+            threads_flag = Some(arg);
+            expect_threads = false;
+            continue;
+        }
         match arg.as_str() {
             "--json" => json = true,
             "--large" => large = true,
+            "--threads" => expect_threads = true,
             other => positional.push(other.to_string()),
         }
+    }
+    if expect_threads {
+        eprintln!("--threads needs a worker count");
+        std::process::exit(2);
+    }
+    if let Some(t) = threads_flag {
+        let Ok(n) = t.parse::<usize>() else {
+            eprintln!("--threads needs a positive integer, got `{t}`");
+            std::process::exit(2);
+        };
+        if n == 0 {
+            eprintln!("--threads needs a positive integer, got `0`");
+            std::process::exit(2);
+        }
+        // The flag is sugar for the environment knob every layer reads
+        // (sweep fan-out, tuner batches); set before any worker spawns.
+        std::env::set_var("LIFT_TUNE_THREADS", n.to_string());
     }
     let cmd = positional
         .first()

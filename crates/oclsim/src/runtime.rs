@@ -150,10 +150,29 @@ pub struct RunOutput {
 }
 
 /// A virtual OpenCL device with a fixed [`DeviceProfile`].
+///
+/// The device is **immutable and freely shareable across threads**: the
+/// parallel tuner hands one `&VirtualDevice` to every worker evaluating a
+/// configuration. All mutable execution state (argument buffers, the
+/// work-item interpreter, per-run statistics) is created locally inside
+/// each [`VirtualDevice::run`] call, so concurrent runs never observe each
+/// other.
 #[derive(Debug, Clone)]
 pub struct VirtualDevice {
     profile: DeviceProfile,
 }
+
+// Compile-time audit of the guarantee above: concurrent tuning relies on
+// sharing devices (and compiled kernels, behind `Arc`) across worker
+// threads. If a future change introduces interior mutability here, this
+// must fail to compile rather than silently race.
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<VirtualDevice>();
+    assert_send_sync::<DeviceProfile>();
+    assert_send_sync::<BufferData>();
+    assert_send_sync::<LaunchConfig>();
+};
 
 impl VirtualDevice {
     /// Creates a device with the given profile.

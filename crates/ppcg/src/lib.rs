@@ -41,6 +41,12 @@ pub struct PpcgKernel {
     pub tunables: Vec<Tunable>,
     /// Output dimensionality.
     pub dims: usize,
+    /// Whether the outermost grid dimension became a sequential per-thread
+    /// strip (the 3D mapping). Consumers deriving launch geometry must not
+    /// scale the z global size by the output extent when this is set —
+    /// matching on the variant *name* instead silently mis-launches any
+    /// future strip-mining strategy under a different name.
+    pub strip_mined_z: bool,
 }
 
 /// Errors from the baseline compiler.
@@ -96,6 +102,7 @@ pub fn compile(prog: &FunDecl) -> Result<PpcgKernel, PpcgError> {
                 program: rebuild(lowered),
                 tunables: info.tile_tunables(),
                 dims,
+                strip_mined_z: false,
             })
         }
         3 => {
@@ -107,6 +114,7 @@ pub fn compile(prog: &FunDecl) -> Result<PpcgKernel, PpcgError> {
                 program: rebuild(lowered),
                 tunables: vec![],
                 dims,
+                strip_mined_z: true,
             })
         }
         d => Err(PpcgError(format!("unsupported dimensionality {d}"))),
@@ -177,6 +185,7 @@ mod tests {
             tiled: true,
             local_mem: true,
             unrolled: false,
+            strip_mined_z: false,
         };
         let bound =
             bind_tunables(&variant, &[("TS0".into(), 4), ("TS1".into(), 4)]).expect("valid tile");
@@ -193,6 +202,7 @@ mod tests {
     fn ppcg_3d_serialises_outer_dimension() {
         let k = compile(&heat3d(8)).expect("compiles");
         assert!(k.strategy.contains("z-strip"));
+        assert!(k.strip_mined_z, "3D mapping must declare the z strip");
         // The outermost grid map became sequential.
         let body = match &k.program {
             FunDecl::Lambda(l) => &l.body,

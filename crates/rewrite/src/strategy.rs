@@ -100,6 +100,11 @@ pub struct Variant {
     pub local_mem: bool,
     /// Whether inner loops were unrolled.
     pub unrolled: bool,
+    /// Whether the outermost (z) grid dimension is strip-mined into a
+    /// sequential per-thread loop instead of being spread across the
+    /// NDRange (the PPCG 3D mapping). Launch derivation must not scale the
+    /// z global size by the output extent when this is set.
+    pub strip_mined_z: bool,
 }
 
 fn glb_kinds(dims: usize) -> Vec<MapKind> {
@@ -149,6 +154,7 @@ pub fn enumerate_variants(prog: &FunDecl) -> Vec<Variant> {
         tiled: false,
         local_mem: false,
         unrolled: false,
+        strip_mined_z: false,
     });
     variants.push(Variant {
         name: "global-unroll".into(),
@@ -158,6 +164,7 @@ pub fn enumerate_variants(prog: &FunDecl) -> Vec<Variant> {
         tiled: false,
         local_mem: false,
         unrolled: true,
+        strip_mined_z: false,
     });
 
     // --- thread coarsening ----------------------------------------------
@@ -179,6 +186,7 @@ pub fn enumerate_variants(prog: &FunDecl) -> Vec<Variant> {
                 tiled: false,
                 local_mem: false,
                 unrolled: true,
+                strip_mined_z: false,
             });
         }
     }
@@ -205,6 +213,7 @@ pub fn enumerate_variants(prog: &FunDecl) -> Vec<Variant> {
                     tiled: true,
                     local_mem: use_local,
                     unrolled: false,
+                    strip_mined_z: false,
                 });
                 variants.push(Variant {
                     name: format!("{suffix}-unroll"),
@@ -214,6 +223,7 @@ pub fn enumerate_variants(prog: &FunDecl) -> Vec<Variant> {
                     tiled: true,
                     local_mem: use_local,
                     unrolled: true,
+                    strip_mined_z: false,
                 });
             }
         }

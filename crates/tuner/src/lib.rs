@@ -8,6 +8,12 @@
 //! (inter-parameter constraints such as *"local size divides global size"*)
 //! via arbitrary predicates over complete configurations.
 //!
+//! The engine underneath is the batched ask/tell [`Search`]: it proposes
+//! configurations in batches that a driver may evaluate concurrently (e.g.
+//! on the in-repo [`parallel_map`] worker pool) and guarantees results
+//! bit-identical to the sequential [`Tuner::run`] for the same seed,
+//! whatever the batch size or thread count.
+//!
 //! # Example
 //!
 //! ```
@@ -30,9 +36,13 @@
 //! assert_eq!(best.values, vec![12, 4]);
 //! ```
 
+pub mod pool;
 pub mod rng;
+pub mod search;
 
+pub use pool::parallel_map;
 pub use rng::SplitMix64;
+pub use search::Search;
 
 /// One tunable parameter with its candidate values.
 #[derive(Debug, Clone)]
@@ -144,7 +154,7 @@ impl ParamSpace {
         self.constraints.iter().all(|c| c(cfg))
     }
 
-    fn nth(&self, mut index: usize) -> Vec<i64> {
+    pub(crate) fn nth(&self, mut index: usize) -> Vec<i64> {
         let mut cfg = Vec::with_capacity(self.params.len());
         for p in &self.params {
             cfg.push(p.candidates[index % p.candidates.len()]);
@@ -191,6 +201,11 @@ pub struct TuneResult {
 /// Small spaces are searched exhaustively; larger spaces by seeded random
 /// sampling followed by greedy neighbourhood refinement of the incumbent
 /// (a light-weight stand-in for OpenTuner's ensemble search).
+///
+/// [`Tuner::run`] is the sequential callback driver; parallel drivers use
+/// the batched ask/tell engine directly via [`Tuner::into_search`] (or
+/// [`Search::new`]) and are guaranteed the identical result for the same
+/// seed.
 pub struct Tuner {
     space: ParamSpace,
     budget: usize,
@@ -218,98 +233,26 @@ impl Tuner {
         &self.space
     }
 
-    /// Runs the search. The evaluator returns `Some(score)` (lower better)
-    /// or `None` when a configuration fails (does not count against valid
-    /// results, but does consume budget).
-    pub fn run(&self, mut eval: impl FnMut(&[i64]) -> Option<f64>) -> TuneResult {
-        let mut trace = Vec::new();
-        let mut best: Option<Candidate> = None;
-        let mut evaluations = 0usize;
+    /// Converts the tuner into the batched ask/tell engine it is built on.
+    pub fn into_search(self) -> Search {
+        Search::new(self.space, self.budget, self.seed)
+    }
 
-        let consider = |cfg: Vec<i64>,
-                        evaluations: &mut usize,
-                        trace: &mut Vec<Candidate>,
-                        best: &mut Option<Candidate>,
-                        eval: &mut dyn FnMut(&[i64]) -> Option<f64>| {
-            *evaluations += 1;
-            if let Some(score) = eval(&cfg) {
-                let cand = Candidate { values: cfg, score };
-                if best.as_ref().is_none_or(|b| cand.score < b.score) {
-                    *best = Some(cand.clone());
-                }
-                trace.push(cand);
-            }
-        };
-
-        if self.space.cardinality() <= self.budget {
-            // Exhaustive.
-            for i in 0..self.space.cardinality() {
-                let cfg = self.space.nth(i);
-                if self.space.satisfies(&cfg) {
-                    consider(cfg, &mut evaluations, &mut trace, &mut best, &mut eval);
-                }
-            }
-            return TuneResult {
-                best,
-                evaluations,
-                trace,
-            };
-        }
-
-        let mut rng = SplitMix64::new(self.seed);
-        let sample_budget = (self.budget * 3) / 4;
-        let mut seen = std::collections::HashSet::new();
-        let mut attempts = 0;
-        while evaluations < sample_budget && attempts < self.budget * 20 {
-            attempts += 1;
-            let idx = rng.gen_range(self.space.cardinality());
-            let cfg = self.space.nth(idx);
-            if !self.space.satisfies(&cfg) || !seen.insert(cfg.clone()) {
-                continue;
-            }
-            consider(cfg, &mut evaluations, &mut trace, &mut best, &mut eval);
-        }
-
-        // Greedy refinement around the incumbent: move one parameter one
-        // candidate up/down at a time.
-        while evaluations < self.budget {
-            let Some(incumbent) = best.clone() else { break };
-            let mut improved = false;
-            'outer: for (pi, p) in self.space.params.iter().enumerate() {
-                let cur_pos = p
-                    .candidates
-                    .iter()
-                    .position(|v| *v == incumbent.values[pi])
-                    .unwrap_or(0);
-                for np in [cur_pos.wrapping_sub(1), cur_pos + 1] {
-                    if evaluations >= self.budget {
-                        break 'outer;
-                    }
-                    let Some(v) = p.candidates.get(np) else {
-                        continue;
-                    };
-                    let mut cfg = incumbent.values.clone();
-                    cfg[pi] = *v;
-                    if !self.space.satisfies(&cfg) || !seen.insert(cfg.clone()) {
-                        continue;
-                    }
-                    let before = best.as_ref().map(|b| b.score);
-                    consider(cfg, &mut evaluations, &mut trace, &mut best, &mut eval);
-                    if best.as_ref().map(|b| b.score) != before {
-                        improved = true;
-                    }
-                }
-            }
-            if !improved {
-                break;
+    /// Runs the search sequentially. The evaluator returns `Some(score)`
+    /// (lower better) or `None` when a configuration fails (does not count
+    /// against valid results, but does consume budget).
+    ///
+    /// This is the batch-size-1 driver over [`Search`]; a parallel driver
+    /// telling the same scores produces the identical [`TuneResult`].
+    pub fn run(self, mut eval: impl FnMut(&[i64]) -> Option<f64>) -> TuneResult {
+        let mut search = self.into_search();
+        while !search.is_done() {
+            for cfg in search.ask(1) {
+                let score = eval(&cfg);
+                search.tell(&cfg, score);
             }
         }
-
-        TuneResult {
-            best,
-            evaluations,
-            trace,
-        }
+        search.into_result()
     }
 }
 
@@ -407,6 +350,93 @@ mod tests {
     #[should_panic(expected = "no candidate values")]
     fn empty_domain_panics() {
         ParamSpec::new("x", vec![]);
+    }
+
+    #[test]
+    fn batched_ask_tell_matches_sequential_run_exactly() {
+        // The same search driven at batch sizes 1, 3, 5 and 16 must produce
+        // bit-identical traces, bests and evaluation counts.
+        let mk = || {
+            ParamSpace::new([
+                ParamSpec::new("x", (1..=100).collect::<Vec<_>>()),
+                ParamSpec::new("y", (1..=100).collect::<Vec<_>>()),
+            ])
+            .with_constraint(|c| (c[0] + c[1]) % 3 != 0)
+        };
+        // Some configurations "fail" to exercise the None path too.
+        let eval = |cfg: &[i64]| {
+            if cfg[0] % 11 == 0 {
+                None
+            } else {
+                quadratic(cfg)
+            }
+        };
+        let reference = Tuner::new(mk(), 60).with_seed(9).run(eval);
+        for batch_size in [1usize, 3, 5, 16] {
+            let mut search = Search::new(mk(), 60, 9);
+            while !search.is_done() {
+                let batch = search.ask(batch_size);
+                for cfg in batch {
+                    search.tell(&cfg, eval(&cfg));
+                }
+            }
+            let got = search.into_result();
+            assert_eq!(got.trace, reference.trace, "batch={batch_size}");
+            assert_eq!(got.best, reference.best, "batch={batch_size}");
+            assert_eq!(got.evaluations, reference.evaluations, "batch={batch_size}");
+        }
+    }
+
+    #[test]
+    fn out_of_order_tells_are_applied_in_proposal_order() {
+        let space = ParamSpace::new([ParamSpec::new("x", (1..=6).collect::<Vec<_>>())]);
+        let mut search = Search::new(space, 100, 0);
+        let batch = search.ask(6);
+        assert_eq!(batch.len(), 6, "exhaustive block proposes everything");
+        // Tell in reverse order with identical scores: the winner must be
+        // the EARLIEST proposal (tie-break on proposal index), and the
+        // trace must follow proposal order, not tell order.
+        for cfg in batch.iter().rev() {
+            search.tell(cfg, Some(1.0));
+        }
+        let r = search.into_result();
+        assert_eq!(r.best.unwrap().values, batch[0]);
+        let trace_cfgs: Vec<&Vec<i64>> = r.trace.iter().map(|c| &c.values).collect();
+        assert_eq!(trace_cfgs, batch.iter().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn ask_returns_empty_between_blocks_until_tells_arrive() {
+        // A large space forces sampling → refinement; the refinement pass
+        // cannot be proposed before the sampling scores are known.
+        let space = ParamSpace::new([
+            ParamSpec::new("x", (1..=100).collect::<Vec<_>>()),
+            ParamSpec::new("y", (1..=100).collect::<Vec<_>>()),
+        ]);
+        let mut search = Search::new(space, 40, 2);
+        let batch = search.ask(1000);
+        assert_eq!(batch.len(), 30, "sampling block is 3/4 of the budget");
+        let held_back = batch[0].clone();
+        for cfg in &batch[1..] {
+            search.tell(cfg, quadratic(cfg));
+        }
+        assert!(
+            search.ask(8).is_empty(),
+            "no refinement proposals while a sampling tell is outstanding"
+        );
+        search.tell(&held_back, quadratic(&held_back));
+        assert!(
+            !search.ask(8).is_empty(),
+            "refinement starts after the block completes"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "was not asked")]
+    fn telling_an_unasked_config_panics() {
+        let space = ParamSpace::new([ParamSpec::new("x", vec![1, 2])]);
+        let mut search = Search::new(space, 10, 0);
+        search.tell(&[7], Some(1.0));
     }
 
     #[test]

@@ -61,5 +61,5 @@ pub use lift_tuner;
 
 pub use lift_driver::{
     BenchResult, Budget, CacheStats, CompiledStencil, DeviceSession, KernelCache, LiftError,
-    Pipeline, TuneOutcome, TunedVariant, VariantSet,
+    Pipeline, TuneOptions, TuneOutcome, TunedVariant, VariantSet,
 };

@@ -1,0 +1,173 @@
+//! The parallel-tuning contract: any thread count reproduces the
+//! sequential search bit-for-bit, tiny devices still tune (profile-derived
+//! work-group spaces), and a fruitless search explains itself.
+
+use std::sync::Arc;
+
+use lift::lift_oclsim::{DeviceProfile, VirtualDevice};
+use lift::{KernelCache, LiftError, Pipeline, TuneOptions, TunedVariant};
+
+fn tuned_fingerprint(v: &TunedVariant) -> (String, String, Vec<(String, i64)>, usize) {
+    (
+        v.name.clone(),
+        // Scores must be *bit*-identical, not approximately equal.
+        format!("{:x}", v.time_s.to_bits()),
+        v.config.clone(),
+        v.evaluations,
+    )
+}
+
+/// The tentpole guarantee: `threads: 1` and `threads: N` produce identical
+/// winners, configurations, scores and evaluation counts for the same
+/// seed — across every variant, not just the winner.
+#[test]
+fn same_seed_is_bit_identical_across_thread_counts() {
+    let dev = VirtualDevice::new(DeviceProfile::k20c());
+    let run = |threads: usize| {
+        let report = Pipeline::for_benchmark("Jacobi2D5pt", &[18, 18])
+            .expect("benchmark exists")
+            .explore()
+            .expect("explores")
+            .on(&dev)
+            .with_cache(Arc::new(KernelCache::new()))
+            .tune_full(
+                TuneOptions::evaluations(8)
+                    .with_seed(5)
+                    .with_threads(threads),
+            )
+            .expect("tunes")
+            .report;
+        (
+            tuned_fingerprint(&report.winner),
+            report.all.iter().map(tuned_fingerprint).collect::<Vec<_>>(),
+        )
+    };
+    let sequential = run(1);
+    for threads in [2, 8] {
+        assert_eq!(run(threads), sequential, "threads={threads} diverged");
+    }
+}
+
+/// A device whose work-group limit sits below the old hard-coded 2D lower
+/// bounds (8×4): tuning used to reject every configuration and report
+/// `NoValidConfiguration`; the per-dimension pow2 bounds now derive from
+/// the profile.
+#[test]
+fn tiny_max_wg_device_tunes_2d_and_3d() {
+    let tiny = DeviceProfile {
+        name: "Tiny-WG16",
+        max_wg_size: 16,
+        ..DeviceProfile::k20c()
+    };
+    let dev = VirtualDevice::new(tiny);
+    for (bench, sizes) in [("Jacobi2D5pt", vec![18usize, 18]), ("Heat", vec![8, 8, 8])] {
+        let winner = Pipeline::for_benchmark(bench, &sizes)
+            .expect("benchmark exists")
+            .explore()
+            .expect("explores")
+            .on(&dev)
+            .with_cache(Arc::new(KernelCache::new()))
+            .tune(TuneOptions::evaluations(8).with_seed(1))
+            .unwrap_or_else(|e| panic!("{bench} must tune on a 16-wide device: {e}"));
+        let (_, local) = (winner.launch().global, winner.launch().local);
+        assert!(
+            local.iter().product::<usize>() <= 16,
+            "{bench} launched an oversized group {local:?}"
+        );
+    }
+}
+
+/// Thread counts must also not change results on a non-default profile
+/// (the derived local space is part of the deterministic proposal stream).
+#[test]
+fn tiny_device_is_deterministic_across_threads_too() {
+    let tiny = DeviceProfile {
+        name: "Tiny-WG16",
+        max_wg_size: 16,
+        ..DeviceProfile::hd7970()
+    };
+    let dev = VirtualDevice::new(tiny);
+    let run = |threads: usize| {
+        Pipeline::for_benchmark("Jacobi2D5pt", &[18, 18])
+            .unwrap()
+            .explore()
+            .unwrap()
+            .on(&dev)
+            .with_cache(Arc::new(KernelCache::new()))
+            .tune_full(
+                TuneOptions::evaluations(6)
+                    .with_seed(11)
+                    .with_threads(threads),
+            )
+            .expect("tunes")
+            .report
+            .all
+            .iter()
+            .map(tuned_fingerprint)
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(run(1), run(4));
+}
+
+/// When nothing tunes, the error must carry the cause instead of a bare
+/// "no valid configuration": here every PPCG candidate needs local memory
+/// the device does not have, and the source chain says so.
+#[test]
+fn no_valid_configuration_explains_itself() {
+    let no_lmem = DeviceProfile {
+        name: "No-LocalMem",
+        lmem_bytes_per_cu: 0,
+        ..DeviceProfile::k20c()
+    };
+    let dev = VirtualDevice::new(no_lmem);
+    let bench = lift::lift_stencils::by_name("Jacobi2D5pt");
+    let err = lift::lift_driver::ppcg_baseline(
+        &bench,
+        &[18, 18],
+        &dev,
+        TuneOptions::evaluations(6).with_seed(1),
+    )
+    .expect_err("local staging cannot fit in zero local memory");
+    let LiftError::NoValidConfiguration { ref failures, .. } = err else {
+        panic!("expected NoValidConfiguration, got {err}");
+    };
+    assert!(
+        !failures.is_empty(),
+        "the first failure per variant must be recorded"
+    );
+    assert!(
+        matches!(*failures[0].1, LiftError::Sim(_)),
+        "the cause is the simulator's local-memory rejection: {}",
+        failures[0].1
+    );
+    let source = std::error::Error::source(&err).expect("source chain reaches the cause");
+    assert!(
+        source.to_string().contains("local memory"),
+        "diagnosis survives into the chain: {source}"
+    );
+    assert!(
+        err.to_string().contains("local memory"),
+        "diagnosis also appears in the display detail: {err}"
+    );
+}
+
+/// The strip-mined-z launch special case follows the variant's explicit
+/// flag, not its name: the PPCG 3D lowering declares it, Lift variants
+/// never do.
+#[test]
+fn strip_mining_is_declared_not_name_matched() {
+    let bench = lift::lift_stencils::by_name("Heat");
+    let prog = bench.program(&[8, 8, 8]);
+    let k = lift::lift_ppcg::compile(&prog).expect("ppcg compiles 3D");
+    assert!(
+        k.strip_mined_z,
+        "the 3D z-strip mapping must declare itself"
+    );
+    for v in lift::lift_rewrite::strategy::enumerate_variants(&prog) {
+        assert!(
+            !v.strip_mined_z,
+            "Lift variant `{}` does not strip-mine z",
+            v.name
+        );
+    }
+}
