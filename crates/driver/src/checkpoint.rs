@@ -1,0 +1,376 @@
+//! Durable tuning checkpoints: crash-safe, resumable search state.
+//!
+//! A [`CheckpointManager`] owns one checkpoint file and collects the
+//! serialized [`SearchState`] of every search a tuning run performs —
+//! keyed by `(program, device, sizes, variant)` so one file can cover a
+//! whole harness sweep. The file is rewritten atomically (temp file +
+//! rename) every [`TuneOptions::checkpoint_every`] applied tells, and a
+//! fresh run pointed at the same file resumes every search from its last
+//! recorded state — **bit-identically** to a run that was never
+//! interrupted, because proposals are deterministic and re-evaluating a
+//! configuration on the virtual device always reproduces its score.
+//!
+//! Managers are process-wide singletons per path (see
+//! [`CheckpointManager::at`]): concurrent sweep cells share one manager
+//! and serialize their writes on its lock. Distinct *processes* must use
+//! distinct paths — the harness's shard mode (`--shard` and
+//! `--spawn-workers`) derives `<path>.shard<i>of<n>` per worker for
+//! exactly this reason.
+//!
+//! The file layout (version [`CHECKPOINT_SCHEMA_VERSION`]):
+//!
+//! ```json
+//! {
+//!   "schema_version": 1,
+//!   "entries": {
+//!     "Jacobi2D5pt@Nvidia Tesla K20c@18x18#tiled-local": {
+//!       "state": { ... },          // SearchState JSON (its own schema)
+//!       "first_failure": null      // or the recorded failure message
+//!     }
+//!   }
+//! }
+//! ```
+//!
+//! [`TuneOptions::checkpoint_every`]: crate::TuneOptions
+
+use std::collections::{BTreeMap, HashMap};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use lift_tuner::json::Value;
+use lift_tuner::SearchState;
+
+use crate::error::LiftError;
+
+/// The version written into (and required from) every checkpoint file.
+pub const CHECKPOINT_SCHEMA_VERSION: u64 = 1;
+
+/// One checkpointed search: its engine state plus the first failure the
+/// driver recorded for it (kept so a resumed all-variants-failed run can
+/// still explain itself).
+#[derive(Debug, Clone)]
+pub(crate) struct CheckpointEntry {
+    pub state: SearchState,
+    pub first_failure: Option<String>,
+}
+
+struct Inner {
+    entries: BTreeMap<String, CheckpointEntry>,
+    tells_since_write: usize,
+    /// The first deferred write failure; surfaced by [`CheckpointManager::flush`]
+    /// so a full disk cannot silently disable checkpointing.
+    write_error: Option<String>,
+}
+
+/// The process-wide owner of one checkpoint file: it accumulates every
+/// search's [`SearchState`] under `(program, device, sizes, variant)`
+/// keys, rewrites the file atomically every `every` applied tells, and
+/// hands recorded states back to resuming searches. One file covers a
+/// whole sweep; one manager exists per path per process (see
+/// [`CheckpointManager::at`]). Distinct processes must use distinct
+/// paths.
+pub struct CheckpointManager {
+    path: PathBuf,
+    every: usize,
+    inner: Mutex<Inner>,
+}
+
+fn registry() -> &'static Mutex<HashMap<PathBuf, Arc<CheckpointManager>>> {
+    static REGISTRY: OnceLock<Mutex<HashMap<PathBuf, Arc<CheckpointManager>>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+impl CheckpointManager {
+    /// The manager for `path`, creating it (and loading any existing file)
+    /// on first use. Every later call with the same path returns the same
+    /// manager — concurrent sweep cells share the file safely — and keeps
+    /// the first call's `every` cadence.
+    ///
+    /// # Errors
+    ///
+    /// [`LiftError::Checkpoint`] when an existing file cannot be read or
+    /// parsed, or carries a `schema_version` this build does not read.
+    pub fn at(path: &Path, every: usize) -> Result<Arc<CheckpointManager>, LiftError> {
+        let mut reg = registry().lock().expect("checkpoint registry poisoned");
+        if let Some(mgr) = reg.get(path) {
+            return Ok(mgr.clone());
+        }
+        let entries = match std::fs::read_to_string(path) {
+            Ok(text) => parse_file(&text)
+                .map_err(|e| LiftError::Checkpoint(format!("{}: {e}", path.display())))?,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => BTreeMap::new(),
+            Err(e) => {
+                return Err(LiftError::Checkpoint(format!(
+                    "cannot read {}: {e}",
+                    path.display()
+                )))
+            }
+        };
+        let mgr = Arc::new(CheckpointManager {
+            path: path.to_path_buf(),
+            every: every.max(1),
+            inner: Mutex::new(Inner {
+                entries,
+                tells_since_write: 0,
+                write_error: None,
+            }),
+        });
+        reg.insert(path.to_path_buf(), mgr.clone());
+        Ok(mgr)
+    }
+
+    /// The recorded entry for `key`, if the file (or this run) has one.
+    pub(crate) fn lookup(&self, key: &str) -> Option<CheckpointEntry> {
+        self.inner
+            .lock()
+            .expect("checkpoint lock poisoned")
+            .entries
+            .get(key)
+            .cloned()
+    }
+
+    /// Records the latest state of one search and schedules a write once
+    /// `tells_delta` accumulated tells reach the manager's cadence. Write
+    /// failures are deferred to [`CheckpointManager::flush`] — tuning
+    /// itself never aborts mid-search over a full disk.
+    pub(crate) fn record(
+        &self,
+        key: &str,
+        state: SearchState,
+        first_failure: Option<String>,
+        tells_delta: usize,
+    ) {
+        let mut inner = self.inner.lock().expect("checkpoint lock poisoned");
+        inner.entries.insert(
+            key.to_string(),
+            CheckpointEntry {
+                state,
+                first_failure,
+            },
+        );
+        inner.tells_since_write += tells_delta;
+        if inner.tells_since_write >= self.every {
+            inner.tells_since_write = 0;
+            if let Err(e) = write_file(&self.path, &inner.entries) {
+                inner.write_error.get_or_insert(e);
+            }
+        }
+    }
+
+    /// Writes the file now and reports any failure, including ones
+    /// deferred from periodic writes.
+    ///
+    /// # Errors
+    ///
+    /// [`LiftError::Checkpoint`] naming the path and the I/O cause.
+    pub fn flush(&self) -> Result<(), LiftError> {
+        let mut inner = self.inner.lock().expect("checkpoint lock poisoned");
+        inner.tells_since_write = 0;
+        let result = write_file(&self.path, &inner.entries);
+        if let Some(deferred) = inner.write_error.take() {
+            return Err(LiftError::Checkpoint(deferred));
+        }
+        result.map_err(LiftError::Checkpoint)
+    }
+}
+
+/// One tuning cell's handle into the shared manager: the manager plus the
+/// cell prefix (`program@device@sizes`) its searches key under.
+#[derive(Clone)]
+pub(crate) struct CellCheckpoint {
+    pub mgr: Arc<CheckpointManager>,
+    pub cell: String,
+}
+
+impl CellCheckpoint {
+    pub fn new(mgr: Arc<CheckpointManager>, name: &str, device: &str, sizes: &[usize]) -> Self {
+        let sizes = sizes
+            .iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>()
+            .join("x");
+        CellCheckpoint {
+            mgr,
+            cell: format!("{name}@{device}@{sizes}"),
+        }
+    }
+
+    /// The file key for one variant's search within this cell.
+    pub fn key(&self, variant: &str) -> String {
+        format!("{}#{variant}", self.cell)
+    }
+}
+
+fn parse_file(text: &str) -> Result<BTreeMap<String, CheckpointEntry>, String> {
+    let v = Value::parse(text)?;
+    let version = v.get("schema_version").and_then(Value::as_u64);
+    if version != Some(CHECKPOINT_SCHEMA_VERSION) {
+        return Err(format!(
+            "unsupported checkpoint schema_version {} (this build reads version {})",
+            version.map_or("<missing>".to_string(), |x| x.to_string()),
+            CHECKPOINT_SCHEMA_VERSION
+        ));
+    }
+    let Some(Value::Obj(members)) = v.get("entries") else {
+        return Err("checkpoint field `entries` is missing or not an object".into());
+    };
+    let mut entries = BTreeMap::new();
+    for (key, entry) in members {
+        let state_json = entry
+            .get("state")
+            .ok_or_else(|| format!("entry `{key}` has no `state`"))?;
+        let state =
+            SearchState::from_json(state_json).map_err(|e| format!("entry `{key}`: {e}"))?;
+        let first_failure = match entry.get("first_failure") {
+            None | Some(Value::Null) => None,
+            Some(other) => Some(
+                other
+                    .as_str()
+                    .ok_or_else(|| format!("entry `{key}`: `first_failure` is not a string"))?
+                    .to_string(),
+            ),
+        };
+        entries.insert(
+            key.clone(),
+            CheckpointEntry {
+                state,
+                first_failure,
+            },
+        );
+    }
+    Ok(entries)
+}
+
+fn render_file(entries: &BTreeMap<String, CheckpointEntry>) -> String {
+    let members = entries
+        .iter()
+        .map(|(key, entry)| {
+            (
+                key.clone(),
+                Value::Obj(vec![
+                    ("state".into(), entry.state.to_json()),
+                    (
+                        "first_failure".into(),
+                        entry
+                            .first_failure
+                            .as_ref()
+                            .map(|m| Value::Str(m.clone()))
+                            .unwrap_or(Value::Null),
+                    ),
+                ]),
+            )
+        })
+        .collect();
+    let doc = Value::Obj(vec![
+        (
+            "schema_version".into(),
+            Value::UInt(CHECKPOINT_SCHEMA_VERSION),
+        ),
+        ("entries".into(), Value::Obj(members)),
+    ]);
+    let mut text = doc.to_json();
+    text.push('\n');
+    text
+}
+
+/// Atomic write: the complete document lands in a sibling temp file first,
+/// then renames over the target, so a kill mid-write can never leave a
+/// half-written checkpoint for the next run to trip over.
+fn write_file(path: &Path, entries: &BTreeMap<String, CheckpointEntry>) -> Result<(), String> {
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = PathBuf::from(tmp);
+    std::fs::write(&tmp, render_file(entries))
+        .map_err(|e| format!("cannot write {}: {e}", tmp.display()))?;
+    std::fs::rename(&tmp, path).map_err(|e| {
+        format!(
+            "cannot rename {} over {}: {e}",
+            tmp.display(),
+            path.display()
+        )
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lift_tuner::{ParamSpace, ParamSpec, Search};
+
+    fn state() -> SearchState {
+        Search::new(ParamSpace::new([ParamSpec::new("x", vec![1, 2, 3])]), 10, 7).snapshot()
+    }
+
+    #[test]
+    fn file_round_trips_entries_and_failures() {
+        let mut entries = BTreeMap::new();
+        entries.insert(
+            "B@dev@8x8#global".to_string(),
+            CheckpointEntry {
+                state: state(),
+                first_failure: Some("local memory exhausted".into()),
+            },
+        );
+        entries.insert(
+            "B@dev@8x8#tiled".to_string(),
+            CheckpointEntry {
+                state: state(),
+                first_failure: None,
+            },
+        );
+        let text = render_file(&entries);
+        let back = parse_file(&text).expect("parses");
+        assert_eq!(back.len(), 2);
+        assert_eq!(
+            back["B@dev@8x8#global"].state,
+            entries["B@dev@8x8#global"].state
+        );
+        assert_eq!(
+            back["B@dev@8x8#global"].first_failure.as_deref(),
+            Some("local memory exhausted")
+        );
+        assert_eq!(back["B@dev@8x8#tiled"].first_failure, None);
+    }
+
+    #[test]
+    fn version_mismatch_is_a_clear_error() {
+        let err = parse_file(r#"{"schema_version": 9, "entries": {}}"#).unwrap_err();
+        assert!(err.contains("schema_version 9"), "{err}");
+        assert!(err.contains("version 1"), "{err}");
+        let err = parse_file(r#"{"entries": {}}"#).unwrap_err();
+        assert!(err.contains("<missing>"), "{err}");
+        assert!(parse_file("not json at all").is_err());
+    }
+
+    #[test]
+    fn managers_are_shared_per_path_and_write_atomically() {
+        let dir = std::env::temp_dir().join(format!("lift-ck-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("shared.json");
+        let a = CheckpointManager::at(&path, 1).unwrap();
+        let b = CheckpointManager::at(&path, 999).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "one manager per path");
+        a.record("k", state(), None, 5);
+        assert!(path.exists(), "cadence 1 writes on the first record");
+        assert!(b.lookup("k").is_some(), "shared state visible through both");
+        b.flush().unwrap();
+        // A fresh parse of the on-disk file sees the entry.
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(parse_file(&text).unwrap().contains_key("k"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn cell_keys_are_stable_and_collision_free() {
+        let path = std::env::temp_dir().join(format!("lift-ck-keys-{}.json", std::process::id()));
+        let mgr = CheckpointManager::at(&path, 1000).unwrap();
+        let small = CellCheckpoint::new(mgr.clone(), "Heat", "K20c", &[8, 8, 8]);
+        let large = CellCheckpoint::new(mgr, "Heat", "K20c", &[64, 64, 64]);
+        assert_eq!(small.key("tiled"), "Heat@K20c@8x8x8#tiled");
+        assert_ne!(
+            small.key("tiled"),
+            large.key("tiled"),
+            "small and large runs of one bench must not share a search"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+}

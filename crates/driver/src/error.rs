@@ -68,6 +68,11 @@ pub enum LiftError {
         /// What diverged.
         detail: String,
     },
+    /// A tuning checkpoint could not be read, written, parsed or matched
+    /// to the current run (I/O failure, corrupt JSON, a `schema_version`
+    /// this build does not read, or a snapshot recorded for a different
+    /// space/seed/budget).
+    Checkpoint(String),
     /// The pipeline stage cannot handle this program shape.
     Unsupported(String),
 }
@@ -108,6 +113,7 @@ impl fmt::Display for LiftError {
             LiftError::Validation { variant, detail } => {
                 write!(f, "variant `{variant}` failed validation: {detail}")
             }
+            LiftError::Checkpoint(m) => write!(f, "checkpoint error: {m}"),
             LiftError::Unsupported(m) => write!(f, "unsupported: {m}"),
         }
     }

@@ -7,17 +7,47 @@
 //! typed object, so the compiler enforces the order and every intermediate
 //! result stays inspectable:
 //!
-//! ```text
-//! Pipeline::new(expr)?            // stage 1: type-checked program
-//!     .explore()?                 // stage 2: rewrite-derived VariantSet
-//!     .on(&device)                // stage 3: DeviceSession
-//!     .tune(Budget::default())?   // stage 4: CompiledStencil (winner)
-//!     .run(&inputs)?              // execute (no recompilation, ever)
+//! ```
+//! use lift_driver::{Budget, Pipeline};
+//! use lift_oclsim::{BufferData, DeviceProfile, VirtualDevice};
+//!
+//! # fn main() -> Result<(), lift_driver::LiftError> {
+//! let device = VirtualDevice::new(DeviceProfile::k20c());
+//! let stencil = Pipeline::for_benchmark("Jacobi2D5pt", &[18, 18])? // stage 1: typed program
+//!     .explore()?                          // stage 2: rewrite-derived VariantSet
+//!     .on(&device)                         // stage 3: DeviceSession
+//!     .tune(Budget::evaluations(2))?;      // stage 4: CompiledStencil (winner)
+//! assert!(stencil.source().contains("__kernel"));
+//! let inputs: Vec<BufferData> = lift_stencils::by_name("Jacobi2D5pt")
+//!     .gen_inputs(&[18, 18], 1)
+//!     .into_iter()
+//!     .map(BufferData::F32)
+//!     .collect();
+//! let out = stencil.run(&inputs)?;         // execute (no recompilation, ever)
+//! assert_eq!(out.output.as_f32().len(), 18 * 18);
+//! # Ok(())
+//! # }
 //! ```
 //!
-//! or, skipping the search, `.with_config("tiled-local", &[("TS0", 10),
-//! ("TS1", 10), ("lx", 8), ("ly", 8)])?` — tiled variants carry one
-//! independent tile-size tunable per grid dimension.
+//! or, skipping the search, pick a configuration by hand — tiled variants
+//! carry one independent tile-size tunable per grid dimension:
+//!
+//! ```
+//! # use lift_driver::Pipeline;
+//! # use lift_oclsim::{DeviceProfile, VirtualDevice};
+//! # fn main() -> Result<(), lift_driver::LiftError> {
+//! # let device = VirtualDevice::new(DeviceProfile::k20c());
+//! let session = Pipeline::for_benchmark("Jacobi2D5pt", &[18, 18])?
+//!     .explore()?
+//!     .on(&device);
+//! let fixed = session.with_config(
+//!     "tiled-local",
+//!     &[("TS0", 8), ("TS1", 8), ("lx", 8), ("ly", 8)],
+//! )?;
+//! assert_eq!(fixed.variant(), "tiled-local");
+//! # Ok(())
+//! # }
+//! ```
 //!
 //! Four design decisions carry the crate:
 //!
@@ -37,18 +67,23 @@
 //!   (`LIFT_TUNE_THREADS` when unset), fanning out over variants and
 //!   configuration batches. Thread count never changes results: the same
 //!   seed yields identical winners, configurations and scores at any
-//!   parallelism.
+//!   parallelism. With [`TuneOptions::checkpoint`] (`LIFT_CHECKPOINT`
+//!   when unset) every search's state is persisted atomically as it
+//!   progresses, and a later run resumes from the file bit-identically
+//!   to a run that was never interrupted — see [`CheckpointManager`].
 //! * **Baselines included** — [`reference_baseline`] (hand-written
 //!   kernels) and [`ppcg_baseline`] (the fixed polyhedral strategy) run
 //!   through the same machinery, which is how the harness regenerates the
 //!   paper's figures without a second orchestration path.
 
 mod cache;
+mod checkpoint;
 mod error;
 mod pipeline;
 mod tune;
 
 pub use cache::{CacheKey, CacheStats, KernelCache};
+pub use checkpoint::{CheckpointManager, CHECKPOINT_SCHEMA_VERSION};
 pub use error::LiftError;
 pub use pipeline::{
     Budget, CompiledStencil, DeviceSession, Pipeline, TuneOptions, TuneOutcome, VariantSet,
@@ -243,6 +278,115 @@ mod tests {
         let bad = lam(Type::f32(), |x| map(add_f32(), x));
         let err = Pipeline::new(bad).unwrap_err();
         assert!(matches!(err, LiftError::Type(_)));
+    }
+
+    type Fingerprint = (String, u64, Vec<(String, i64)>, usize);
+
+    fn report_fingerprint(report: &BenchResult) -> Vec<Fingerprint> {
+        report
+            .all
+            .iter()
+            .map(|v| {
+                (
+                    v.name.clone(),
+                    v.time_s.to_bits(),
+                    v.config.clone(),
+                    v.evaluations,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn checkpointed_tuning_is_bit_identical_and_resumable() {
+        let dir = std::env::temp_dir().join(format!("lift-ck-tune-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let dev = VirtualDevice::new(DeviceProfile::k20c());
+        let run = |opts: TuneOptions, cache: Arc<KernelCache>| {
+            Pipeline::for_benchmark("Jacobi2D5pt", &[18, 18])
+                .unwrap()
+                .explore()
+                .unwrap()
+                .on(&dev)
+                .with_cache(cache)
+                .tune_full(opts)
+                .expect("tunes")
+                .report
+        };
+        let opts = || {
+            TuneOptions::evaluations(6)
+                .with_seed(4)
+                .with_checkpoint_every(1)
+        };
+
+        // A checkpointed run produces exactly the un-checkpointed result.
+        let reference = run(opts(), Arc::new(KernelCache::new()));
+        let first_path = dir.join("first.json");
+        let first = run(
+            opts().with_checkpoint(&first_path),
+            Arc::new(KernelCache::new()),
+        );
+        assert_eq!(report_fingerprint(&first), report_fingerprint(&reference));
+        assert!(first_path.exists(), "the checkpoint file was written");
+
+        // Resuming from the completed file replays the result without a
+        // single re-evaluation: the only compile is the winner's (a cache
+        // key already counted, so compiles stays 0 on a fresh cache that
+        // never tuned — assert via the evaluation counter instead).
+        let copy_path = dir.join("resume.json");
+        std::fs::copy(&first_path, &copy_path).unwrap();
+        let cache = Arc::new(KernelCache::new());
+        let resumed = run(opts().with_checkpoint(&copy_path), cache.clone());
+        assert_eq!(report_fingerprint(&resumed), report_fingerprint(&reference));
+        let stats = cache.stats();
+        assert_eq!(
+            stats.compiles, 1,
+            "a completed checkpoint replays: only the winner compiles ({stats:?})"
+        );
+
+        // A checkpoint recorded under different options must refuse to
+        // resume, loudly.
+        let err = Pipeline::for_benchmark("Jacobi2D5pt", &[18, 18])
+            .unwrap()
+            .explore()
+            .unwrap()
+            .on(&dev)
+            .with_cache(Arc::new(KernelCache::new()))
+            .tune_full(
+                TuneOptions::evaluations(6)
+                    .with_seed(99)
+                    .with_checkpoint(&copy_path),
+            )
+            .expect_err("seed mismatch must not silently retune");
+        let LiftError::NoValidConfiguration { failures, .. } = &err else {
+            panic!("expected NoValidConfiguration, got {err}");
+        };
+        assert!(
+            failures
+                .iter()
+                .all(|(_, e)| matches!(**e, LiftError::Checkpoint(_))),
+            "every variant reports the checkpoint mismatch: {err}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_checkpoint_is_a_clear_error_not_a_panic() {
+        let dir = std::env::temp_dir().join(format!("lift-ck-bad-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("corrupt.json");
+        std::fs::write(&path, "{not json").unwrap();
+        let dev = VirtualDevice::new(DeviceProfile::k20c());
+        let err = Pipeline::for_benchmark("Jacobi2D5pt", &[18, 18])
+            .unwrap()
+            .explore()
+            .unwrap()
+            .on(&dev)
+            .tune_full(TuneOptions::evaluations(2).with_checkpoint(&path))
+            .expect_err("corrupt checkpoints fail loudly");
+        assert!(matches!(err, LiftError::Checkpoint(_)), "{err}");
+        assert!(err.to_string().contains("corrupt.json"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

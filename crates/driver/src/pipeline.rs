@@ -25,14 +25,17 @@ use crate::tune::{
     BenchResult, TuneContext,
 };
 
-/// Tuning options: the evaluation budget per variant, the search seed and
-/// the worker-thread count.
+/// Tuning options: the evaluation budget per variant, the search seed,
+/// the worker-thread count and the optional checkpoint file.
 ///
 /// Threading only changes wall-clock, never results: for the same seed,
 /// `threads: 1` and `threads: N` produce identical winners, configurations
 /// and scores (the ask/tell engine proposes deterministically and applies
-/// scores in proposal order).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// scores in proposal order). Checkpointing shares the guarantee: a run
+/// resumed from `checkpoint` finishes bit-identically to one that was
+/// never interrupted — the file only lets it skip re-evaluating what an
+/// earlier process already measured.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TuneOptions {
     /// Tuner evaluations per (variant, device) pair.
     pub evaluations: usize,
@@ -43,6 +46,14 @@ pub struct TuneOptions {
     /// `LIFT_TUNE_THREADS` environment variable, falling back to 1
     /// (sequential).
     pub threads: usize,
+    /// Checkpoint file for resumable tuning. `None` (the default) defers
+    /// to the `LIFT_CHECKPOINT` environment variable, falling back to no
+    /// checkpointing. Each process needs its own file — see
+    /// [`CheckpointManager`](crate::CheckpointManager).
+    pub checkpoint: Option<std::path::PathBuf>,
+    /// Applied tells between checkpoint writes. `0` (the default) defers
+    /// to `LIFT_CHECKPOINT_EVERY`, falling back to 16.
+    pub checkpoint_every: usize,
 }
 
 /// The historical name of [`TuneOptions`] (PR 1 introduced it as the
@@ -53,8 +64,10 @@ impl Default for TuneOptions {
     fn default() -> Self {
         TuneOptions {
             evaluations: 10,
-            seed: 2018, // the CGO year, as everywhere in this repo
-            threads: 0, // LIFT_TUNE_THREADS, else sequential
+            seed: 2018,          // the CGO year, as everywhere in this repo
+            threads: 0,          // LIFT_TUNE_THREADS, else sequential
+            checkpoint: None,    // LIFT_CHECKPOINT, else no checkpointing
+            checkpoint_every: 0, // LIFT_CHECKPOINT_EVERY, else 16
         }
     }
 }
@@ -91,6 +104,46 @@ impl TuneOptions {
         } else {
             crate::tune::env_threads()
         }
+    }
+
+    /// Enables checkpointing to `path` (see
+    /// [`TuneOptions::checkpoint`]).
+    pub fn with_checkpoint(mut self, path: impl Into<std::path::PathBuf>) -> Self {
+        self.checkpoint = Some(path.into());
+        self
+    }
+
+    /// Sets the checkpoint write cadence in applied tells. Passing `0`
+    /// restores the default behaviour (defer to `LIFT_CHECKPOINT_EVERY`,
+    /// else 16).
+    pub fn with_checkpoint_every(mut self, tells: usize) -> Self {
+        self.checkpoint_every = tells;
+        self
+    }
+
+    /// The effective checkpoint path: the explicit setting, else
+    /// `LIFT_CHECKPOINT` (when non-empty), else none.
+    pub fn resolved_checkpoint(&self) -> Option<std::path::PathBuf> {
+        if self.checkpoint.is_some() {
+            return self.checkpoint.clone();
+        }
+        std::env::var("LIFT_CHECKPOINT")
+            .ok()
+            .filter(|p| !p.is_empty())
+            .map(std::path::PathBuf::from)
+    }
+
+    /// The effective checkpoint cadence: the explicit setting, else
+    /// `LIFT_CHECKPOINT_EVERY`, else 16.
+    pub fn resolved_checkpoint_every(&self) -> usize {
+        if self.checkpoint_every > 0 {
+            return self.checkpoint_every;
+        }
+        std::env::var("LIFT_CHECKPOINT_EVERY")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .filter(|n| *n > 0)
+            .unwrap_or(16)
     }
 }
 
@@ -396,6 +449,12 @@ impl DeviceSession {
         let out_sizes = self.out_sizes()?;
         let (inputs, golden) = self.inputs_and_golden(budget.seed)?;
         let name = self.program_name();
+        let manager = budget
+            .resolved_checkpoint()
+            .map(|p| {
+                crate::checkpoint::CheckpointManager::at(&p, budget.resolved_checkpoint_every())
+            })
+            .transpose()?;
         let report = {
             let ctx = TuneContext {
                 name: name.clone(),
@@ -407,9 +466,20 @@ impl DeviceSession {
                 budget: budget.evaluations,
                 seed: budget.seed,
                 threads: budget.resolved_threads(),
+                checkpoint: manager.clone().map(|mgr| {
+                    crate::checkpoint::CellCheckpoint::new(
+                        mgr,
+                        &name,
+                        self.device.profile().name,
+                        &out_sizes,
+                    )
+                }),
             };
             tune_variants(&ctx, self.set.variants())?
         };
+        if let Some(mgr) = manager {
+            mgr.flush()?;
+        }
         let winner = self.compile_configured(&report.winner.name, &report.winner.config)?;
         let winner = CompiledStencil {
             predicted_time_s: Some(report.winner.time_s),

@@ -16,6 +16,7 @@ use lift_stencils::Benchmark;
 use lift_tuner::{parallel_map, ParamSpace, ParamSpec, Search};
 
 use crate::cache::{program_fingerprint, CacheKey, KernelCache};
+use crate::checkpoint::CellCheckpoint;
 use crate::error::LiftError;
 
 /// One tuned implementation with its best configuration.
@@ -72,6 +73,10 @@ pub(crate) struct TuneContext<'a> {
     /// Worker threads for parallel evaluation (1 = fully sequential). The
     /// thread count never changes results — only wall-clock.
     pub threads: usize,
+    /// Checkpoint handle for resumable tuning (`None` = no
+    /// checkpointing). Restoring never changes results either — it only
+    /// skips re-evaluating what a previous process already measured.
+    pub checkpoint: Option<CellCheckpoint>,
 }
 
 /// The `LIFT_TUNE_THREADS` fallback used when no explicit thread count was
@@ -443,8 +448,54 @@ fn tune_variant_batched(
     let validate = std::env::var("LIFT_NO_VALIDATE")
         .map(|v| v != "1")
         .unwrap_or(true);
-    let mut search = Search::new(space, ctx.budget, ctx.seed ^ hash(&variant.name));
+    let search_seed = ctx.seed ^ hash(&variant.name);
+    let ck_key = ctx.checkpoint.as_ref().map(|c| c.key(&variant.name));
     let mut first_failure: Option<LiftError> = None;
+    // The raw failure message as written to the checkpoint file; kept
+    // separate from `first_failure` so repeated resumes never re-wrap it.
+    let mut failure_msg: Option<String> = None;
+    // A checkpointed search resumes from its recorded state instead of
+    // starting over; a snapshot that does not belong to this run (other
+    // space, seed or budget) is a hard, explained failure rather than a
+    // silent restart that would break the resumed-run-equals-uninterrupted
+    // guarantee.
+    let mut search = match ctx
+        .checkpoint
+        .as_ref()
+        .zip(ck_key.as_deref())
+        .and_then(|(c, key)| c.mgr.lookup(key))
+    {
+        Some(entry) => {
+            if entry.state.seed != search_seed || entry.state.budget != ctx.budget {
+                return VariantOutcome {
+                    tuned: None,
+                    first_failure: Some(LiftError::Checkpoint(format!(
+                        "checkpointed search for variant `{}` was recorded with seed {} and \
+                         budget {}, but this run uses seed {search_seed} and budget {}; \
+                         delete the checkpoint or rerun with the original options",
+                        variant.name, entry.state.seed, entry.state.budget, ctx.budget
+                    ))),
+                };
+            }
+            failure_msg = entry.first_failure;
+            first_failure = failure_msg
+                .clone()
+                .map(|m| LiftError::Checkpoint(format!("recorded before resume: {m}")));
+            match Search::restore(space, entry.state) {
+                Ok(s) => s,
+                Err(e) => {
+                    return VariantOutcome {
+                        tuned: None,
+                        first_failure: Some(LiftError::Checkpoint(format!(
+                            "cannot resume variant `{}`: {e}",
+                            variant.name
+                        ))),
+                    }
+                }
+            }
+        }
+        None => Search::new(space, ctx.budget, search_seed),
+    };
     loop {
         // A batch slightly larger than the worker count keeps the pool fed
         // without changing results (batch size never does).
@@ -460,17 +511,28 @@ fn tune_variant_batched(
         });
         // Tell in batch order == proposal order: the trace, incumbent and
         // recorded first failure stay deterministic.
+        let tells = evaluated.len();
         for (cfg, score) in evaluated {
             match score {
                 Ok(s) => search.tell(&cfg, Some(s)),
                 Err(e) => {
                     if first_failure.is_none() {
+                        failure_msg = Some(e.to_string());
                         first_failure = Some(e);
                     }
                     search.tell(&cfg, None);
                 }
             }
         }
+        if let Some((c, key)) = ctx.checkpoint.as_ref().zip(ck_key.as_deref()) {
+            c.mgr
+                .record(key, search.snapshot(), failure_msg.clone(), tells);
+        }
+    }
+    // Record the finished search too, so a later process replays the
+    // result instead of re-tuning a completed variant.
+    if let Some((c, key)) = ctx.checkpoint.as_ref().zip(ck_key.as_deref()) {
+        c.mgr.record(key, search.snapshot(), failure_msg.clone(), 0);
     }
     let evaluations = search.evaluations();
     let result = search.into_result();
@@ -553,6 +615,10 @@ pub fn ppcg_baseline(
     let variant = ppcg_variant(&prog)?;
     let inputs = bench_inputs(bench, sizes, opts.seed);
     let golden = bench_golden(bench, &inputs, sizes);
+    let manager = opts
+        .resolved_checkpoint()
+        .map(|p| crate::checkpoint::CheckpointManager::at(&p, opts.resolved_checkpoint_every()))
+        .transpose()?;
     let ctx = TuneContext {
         name: bench.name.to_string(),
         out_sizes: sizes.to_vec(),
@@ -563,8 +629,14 @@ pub fn ppcg_baseline(
         budget: opts.evaluations,
         seed: opts.seed,
         threads: opts.resolved_threads(),
+        checkpoint: manager
+            .clone()
+            .map(|mgr| CellCheckpoint::new(mgr, bench.name, dev.profile().name, sizes)),
     };
     let outcome = tune_variant(&ctx, &variant);
+    if let Some(mgr) = manager {
+        mgr.flush()?;
+    }
     outcome
         .tuned
         .ok_or_else(|| LiftError::NoValidConfiguration {

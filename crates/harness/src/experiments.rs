@@ -7,6 +7,13 @@
 //! sequential iteration order, rows come back in that same order, and each
 //! cell tunes with its own deterministic seed — so `LIFT_TUNE_THREADS=8`
 //! regenerates byte-identical reports, just sooner.
+//!
+//! The same work lists are also the unit of **cross-process sharding**
+//! (`lift-harness --shard i/n`): a [`Shard`] deterministically selects the
+//! grid cells with `index % n == i`, the `*_shard` functions run exactly
+//! those cells, and because every cell tunes with its own seed the union
+//! of all shards' rows — reassembled in cell order by `lift-harness
+//! merge` — is byte-identical to the single-process sweep.
 
 use lift_driver::{ppcg_baseline, reference_baseline, Budget, LiftError, Pipeline};
 use lift_oclsim::{DeviceProfile, VirtualDevice};
@@ -17,6 +24,54 @@ use crate::{seed, threads, tune_budget};
 
 fn budget() -> Budget {
     Budget::evaluations(tune_budget()).with_seed(seed())
+}
+
+/// One shard of a sweep: `(index, count)`. Grid cell `c` (in the sweep's
+/// deterministic work-list order) belongs to the shard with
+/// `c % count == index`; `(0, 1)` is the whole sweep.
+pub type Shard = (usize, usize);
+
+/// A shard's slice of a sweep: the full sweep's cell count plus the rows
+/// each selected cell produced, keyed by global cell index.
+#[derive(Debug, Clone)]
+pub struct ShardRows<T> {
+    /// Cells in the *full* sweep (all shards together).
+    pub cells: usize,
+    /// `(global cell index, rows of that cell)`, in cell order. A cell
+    /// that produces no rows (e.g. a PPCG-inexpressible Figure-8 cell)
+    /// appears with an empty row list — the merge step needs to see every
+    /// cell to prove completeness.
+    pub groups: Vec<(usize, Vec<T>)>,
+}
+
+impl<T> ShardRows<T> {
+    fn flatten(self) -> Vec<T> {
+        self.groups.into_iter().flat_map(|(_, rows)| rows).collect()
+    }
+}
+
+/// Validates a shard selector.
+///
+/// # Errors
+///
+/// [`LiftError::InvalidConfig`] unless `index < count` and `count ≥ 1`.
+pub fn validate_shard(shard: Shard) -> Result<Shard, LiftError> {
+    let (index, count) = shard;
+    if count == 0 || index >= count {
+        return Err(LiftError::InvalidConfig(format!(
+            "shard {index}/{count} is invalid; use --shard i/n with 0 <= i < n"
+        )));
+    }
+    Ok(shard)
+}
+
+/// Selects this shard's cells from the full work list, preserving global
+/// cell indices.
+fn shard_cells<W>(work: Vec<W>, (index, count): Shard) -> Vec<(usize, W)> {
+    work.into_iter()
+        .enumerate()
+        .filter(|(i, _)| i % count == index)
+        .collect()
 }
 
 /// Splits a thread budget between the sweep (`outer` workers over grid
@@ -73,28 +128,45 @@ pub fn fig7() -> Result<Vec<Fig7Row>, LiftError> {
 /// [`fig7`] under an explicit thread budget (used by the `all` command to
 /// share the budget across concurrently-generated sections).
 pub fn fig7_with(thread_budget: usize) -> Result<Vec<Fig7Row>, LiftError> {
+    Ok(fig7_shard((0, 1), thread_budget)?.flatten())
+}
+
+/// One shard of the Figure-7 sweep (see [`Shard`]); `(0, 1)` is the whole
+/// figure.
+///
+/// # Errors
+///
+/// As [`fig7`], plus [`LiftError::InvalidConfig`] for an invalid shard.
+pub fn fig7_shard(shard: Shard, thread_budget: usize) -> Result<ShardRows<Fig7Row>, LiftError> {
+    let shard = validate_shard(shard)?;
     let work: Vec<(DeviceProfile, &'static str)> = DeviceProfile::all()
         .into_iter()
         .flat_map(|d| fig7_names().into_iter().map(move |n| (d.clone(), n)))
         .collect();
-    let (outer, inner) = split_budget(thread_budget, work.len());
-    parallel_map(outer, work, |(profile, name)| {
+    let cells = work.len();
+    let mine = shard_cells(work, shard);
+    let (outer, inner) = split_budget(thread_budget, mine.len());
+    let groups = parallel_map(outer, mine, |(cell, (profile, name))| {
         let dev = VirtualDevice::new(profile);
         let bench = by_name(name);
         let sizes = bench.size(false);
         let lift = tune(&bench, &sizes, &dev, inner)?;
         let reference = reference_baseline(&bench, &sizes, &dev, seed())?;
-        Ok(Fig7Row {
-            bench: name.to_string(),
-            device: dev.profile().name.to_string(),
-            lift_gelems: lift.winner.gelems_per_s,
-            reference_gelems: reference.gelems_per_s,
-            lift_variant: lift.winner.name.clone(),
-            lift_tiled: lift.winner.tiled,
-        })
+        Ok((
+            cell,
+            vec![Fig7Row {
+                bench: name.to_string(),
+                device: dev.profile().name.to_string(),
+                lift_gelems: lift.winner.gelems_per_s,
+                reference_gelems: reference.gelems_per_s,
+                lift_variant: lift.winner.name.clone(),
+                lift_tiled: lift.winner.tiled,
+            }],
+        ))
     })
     .into_iter()
-    .collect()
+    .collect::<Result<Vec<_>, LiftError>>()?;
+    Ok(ShardRows { cells, groups })
 }
 
 /// One cell of Figure 8: the Lift speedup over PPCG.
@@ -129,6 +201,18 @@ pub fn fig8() -> Result<Vec<Fig8Row>, LiftError> {
 
 /// [`fig8`] under an explicit thread budget.
 pub fn fig8_with(thread_budget: usize) -> Result<Vec<Fig8Row>, LiftError> {
+    Ok(fig8_shard((0, 1), thread_budget)?.flatten())
+}
+
+/// One shard of the Figure-8 sweep (see [`Shard`]). PPCG-inexpressible
+/// cells appear with an empty row list, exactly as the full sweep skips
+/// them.
+///
+/// # Errors
+///
+/// As [`fig8`], plus [`LiftError::InvalidConfig`] for an invalid shard.
+pub fn fig8_shard(shard: Shard, thread_budget: usize) -> Result<ShardRows<Fig8Row>, LiftError> {
+    let shard = validate_shard(shard)?;
     // The work list mirrors the sequential iteration order, with the
     // paper's ARM large-size skip applied up front.
     let mut work: Vec<(DeviceProfile, &'static str, &'static str, bool)> = Vec::new();
@@ -143,8 +227,10 @@ pub fn fig8_with(thread_budget: usize) -> Result<Vec<Fig8Row>, LiftError> {
             }
         }
     }
-    let (outer, inner) = split_budget(thread_budget, work.len());
-    let cells = parallel_map(outer, work, |(profile, name, size_name, large)| {
+    let cells = work.len();
+    let mine = shard_cells(work, shard);
+    let (outer, inner) = split_budget(thread_budget, mine.len());
+    let groups = parallel_map(outer, mine, |(cell, (profile, name, size_name, large))| {
         let dev = VirtualDevice::new(profile);
         let bench = by_name(name);
         let sizes = bench.size(large);
@@ -153,25 +239,24 @@ pub fn fig8_with(thread_budget: usize) -> Result<Vec<Fig8Row>, LiftError> {
             Ok(p) => p,
             // A benchmark the PPCG strategy cannot compile is skipped, not
             // an error — the paper's "PPCG-expressible subset" framing.
-            Err(LiftError::Ppcg(_)) => return Ok(None),
+            Err(LiftError::Ppcg(_)) => return Ok((cell, Vec::new())),
             Err(e) => return Err(e),
         };
-        Ok(Some(Fig8Row {
-            bench: name.to_string(),
-            device: dev.profile().name.to_string(),
-            size: size_name,
-            speedup: ppcg.time_s / lift.winner.time_s,
-            lift_variant: lift.winner.name.clone(),
-            lift_tiled: lift.winner.tiled,
-        }))
-    });
-    let mut rows = Vec::new();
-    for cell in cells {
-        if let Some(row) = cell? {
-            rows.push(row);
-        }
-    }
-    Ok(rows)
+        Ok((
+            cell,
+            vec![Fig8Row {
+                bench: name.to_string(),
+                device: dev.profile().name.to_string(),
+                size: size_name,
+                speedup: ppcg.time_s / lift.winner.time_s,
+                lift_variant: lift.winner.name.clone(),
+                lift_tiled: lift.winner.tiled,
+            }],
+        ))
+    })
+    .into_iter()
+    .collect::<Result<Vec<_>, LiftError>>()?;
+    Ok(ShardRows { cells, groups })
 }
 
 /// One row of the ablation study: per-variant best throughput.
@@ -205,6 +290,22 @@ pub fn ablation_with(
     bench_names: &[&str],
     thread_budget: usize,
 ) -> Result<Vec<AblationRow>, LiftError> {
+    Ok(ablation_shard(bench_names, (0, 1), thread_budget)?.flatten())
+}
+
+/// One shard of the ablation sweep (see [`Shard`]). Each cell contributes
+/// one row per explored variant.
+///
+/// # Errors
+///
+/// As [`ablation`], plus [`LiftError::InvalidConfig`] for an invalid
+/// shard.
+pub fn ablation_shard(
+    bench_names: &[&str],
+    shard: Shard,
+    thread_budget: usize,
+) -> Result<ShardRows<AblationRow>, LiftError> {
+    let shard = validate_shard(shard)?;
     let work: Vec<(DeviceProfile, String)> = DeviceProfile::all()
         .into_iter()
         .flat_map(|d| {
@@ -214,14 +315,17 @@ pub fn ablation_with(
                 .collect::<Vec<_>>()
         })
         .collect();
-    let (outer, inner) = split_budget(thread_budget, work.len());
-    let cells = parallel_map(outer, work, |(profile, name)| {
+    let cells = work.len();
+    let mine = shard_cells(work, shard);
+    let (outer, inner) = split_budget(thread_budget, mine.len());
+    let groups = parallel_map(outer, mine, |(cell, (profile, name))| {
         let dev = VirtualDevice::new(profile);
         let bench = by_name(&name);
         let sizes = bench.size(false);
         let result = tune(&bench, &sizes, &dev, inner)?;
         let best = result.winner.gelems_per_s;
-        Ok::<Vec<AblationRow>, LiftError>(
+        Ok::<(usize, Vec<AblationRow>), LiftError>((
+            cell,
             result
                 .all
                 .iter()
@@ -233,13 +337,11 @@ pub fn ablation_with(
                     rel_to_best: v.gelems_per_s / best,
                 })
                 .collect(),
-        )
-    });
-    let mut rows = Vec::new();
-    for cell in cells {
-        rows.extend(cell?);
-    }
-    Ok(rows)
+        ))
+    })
+    .into_iter()
+    .collect::<Result<Vec<_>, LiftError>>()?;
+    Ok(ShardRows { cells, groups })
 }
 
 /// One row of a single-benchmark report: the tuned best of one variant on
@@ -276,6 +378,22 @@ pub struct BenchRow {
 /// [`LiftError::UnknownBenchmark`] for a name outside Table 1, plus any
 /// pipeline error.
 pub fn bench_one(name: &str, large: bool) -> Result<Vec<BenchRow>, LiftError> {
+    Ok(bench_shard(name, large, (0, 1))?.flatten())
+}
+
+/// One shard of a single-benchmark sweep (cells are the device profiles;
+/// see [`Shard`]).
+///
+/// # Errors
+///
+/// As [`bench_one`], plus [`LiftError::InvalidConfig`] for an invalid
+/// shard.
+pub fn bench_shard(
+    name: &str,
+    large: bool,
+    shard: Shard,
+) -> Result<ShardRows<BenchRow>, LiftError> {
+    let shard = validate_shard(shard)?;
     // Resolve the name early so a typo fails before minutes of tuning.
     let bench = suite()
         .into_iter()
@@ -283,11 +401,14 @@ pub fn bench_one(name: &str, large: bool) -> Result<Vec<BenchRow>, LiftError> {
         .ok_or_else(|| LiftError::UnknownBenchmark(name.to_string()))?;
     let sizes = bench.size(large);
     let work: Vec<DeviceProfile> = DeviceProfile::all().into_iter().collect();
-    let (outer, inner) = split_budget(threads(), work.len());
-    let cells = parallel_map(outer, work, |profile| {
+    let cells = work.len();
+    let mine = shard_cells(work, shard);
+    let (outer, inner) = split_budget(threads(), mine.len());
+    let groups = parallel_map(outer, mine, |(cell, profile)| {
         let dev = VirtualDevice::new(profile);
         let result = tune(&bench, &sizes, &dev, inner)?;
-        Ok::<Vec<BenchRow>, LiftError>(
+        Ok::<(usize, Vec<BenchRow>), LiftError>((
+            cell,
             result
                 .all
                 .iter()
@@ -303,13 +424,11 @@ pub fn bench_one(name: &str, large: bool) -> Result<Vec<BenchRow>, LiftError> {
                     local_mem: v.local_mem,
                 })
                 .collect(),
-        )
-    });
-    let mut rows = Vec::new();
-    for cell in cells {
-        rows.extend(cell?);
-    }
-    Ok(rows)
+        ))
+    })
+    .into_iter()
+    .collect::<Result<Vec<_>, LiftError>>()?;
+    Ok(ShardRows { cells, groups })
 }
 
 /// One row of Table 1.

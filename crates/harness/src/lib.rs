@@ -11,18 +11,32 @@
 //!   (also settable with the binary's `--threads N` flag); default 1.
 //!   Threading changes wall-clock only: any thread count reproduces the
 //!   sequential results bit-for-bit for the same seed.
+//! * `LIFT_CHECKPOINT` — tuning checkpoint file (also settable with the
+//!   binary's `--checkpoint PATH` flag); resuming an interrupted run from
+//!   it reproduces the uninterrupted output bit-for-bit. Each process
+//!   needs its own file.
+//! * `LIFT_CHECKPOINT_EVERY` — applied tells between checkpoint writes;
+//!   default 16.
 //! * `LIFT_FULL_SIZES=1` — use the paper's original grid sizes (slow).
 //! * `LIFT_SEED` — experiment seed; default 2018 (the CGO year).
+//!
+//! Sweeps also shard across *processes*: `--shard i/n` runs the cells
+//! with `index % n == i` and prints a partial report, `lift-harness merge
+//! <parts…>` recombines a complete set byte-identically to the
+//! single-process `--json` document, and `--spawn-workers n` does both in
+//! one command. See [`experiments::Shard`] and [`report::merge_parts`].
 
 pub mod experiments;
 pub mod report;
 
 pub use experiments::{
-    ablation, ablation_with, bench_one, fig7, fig7_with, fig8, fig8_with, table1, AblationRow,
-    BenchRow, Fig7Row, Fig8Row, Table1Row,
+    ablation, ablation_shard, ablation_with, bench_one, bench_shard, fig7, fig7_shard, fig7_with,
+    fig8, fig8_shard, fig8_with, table1, validate_shard, AblationRow, BenchRow, Fig7Row, Fig8Row,
+    Shard, ShardRows, Table1Row,
 };
 pub use lift_driver::{BenchResult, LiftError, Pipeline, TunedVariant};
 pub use lift_tuner::parallel_map;
+pub use report::merge_parts;
 
 /// The tuning budget per variant/device pair.
 pub fn tune_budget() -> usize {

@@ -10,26 +10,76 @@
 //! lift-harness all                # every experiment above
 //! lift-harness --json fig7        # machine-readable output for CI
 //! lift-harness --threads 8 all    # parallel sweep (same results, sooner)
+//! lift-harness --list-benchmarks  # exact names, ranks and domain sizes
+//!
+//! # Distributed & resumable tuning:
+//! lift-harness --checkpoint ck.json fig7         # resumable (kill + rerun)
+//! lift-harness --json --shard 0/3 fig7 > p0.json # one worker's share
+//! lift-harness merge p0.json p1.json p2.json     # == single-process --json
+//! lift-harness --json --spawn-workers 3 fig7     # shard + merge in one go
 //! ```
 //!
 //! `--threads N` (equivalently `LIFT_TUNE_THREADS=N`) fans the benchmark ×
-//! device sweep and the tuner's configuration batches out over `N` workers.
-//! Results are bit-identical to `--threads 1` for the same seed — only
-//! wall-clock changes.
+//! device sweep and the tuner's configuration batches out over `N` workers
+//! *within* this process. `--shard i/n` distributes the same grid *across*
+//! processes: each worker prints a partial JSON report and `merge`
+//! recombines a complete set byte-identically to the single-process
+//! document. `--checkpoint PATH` (equivalently `LIFT_CHECKPOINT=PATH`)
+//! makes tuning resumable: a killed run rerun with the same flag picks up
+//! from the file and prints exactly what the uninterrupted run would
+//! have. None of the three ever changes results — only wall-clock.
 //!
 //! Exit codes: 0 on success, 1 when an experiment fails (e.g. no valid
 //! configuration for a benchmark — a broken compiler must fail CI), 2 for
 //! usage errors.
 
 use lift_harness::report::{
-    json_ablation, json_bench, json_fig7, json_fig8, json_table1, render_ablation, render_bench,
+    json_ablation, json_bench, json_fig7, json_fig8, json_str, json_table1, merge_parts,
+    partial_ablation, partial_bench, partial_fig7, partial_fig8, render_ablation, render_bench,
     render_fig7, render_fig8, render_table1,
 };
 use lift_harness::{
-    ablation_with, bench_one, fig7_with, fig8_with, parallel_map, table1, threads, LiftError,
+    ablation_shard, ablation_with, bench_one, bench_shard, fig7_shard, fig7_with, fig8_shard,
+    fig8_with, parallel_map, table1, threads, validate_shard, LiftError, Shard,
 };
 
 const ABLATION_BENCHES: [&str; 2] = ["Jacobi2D5pt", "Jacobi3D7pt"];
+
+const USAGE: &str = "\
+lift-harness — regenerate the paper's tables and figures
+
+USAGE:
+    lift-harness [FLAGS] [table1|fig7|fig8|ablation|bench <name>|all]
+    lift-harness merge <part.json>...
+    lift-harness --list-benchmarks [--json]
+
+FLAGS:
+    --json                machine-readable JSON instead of text
+    --large               use the large grid size (bench <name> only)
+    --threads <N>         worker threads within this process
+                          (= LIFT_TUNE_THREADS)
+    --checkpoint <PATH>   resumable tuning: write search state to PATH and
+                          resume from it on rerun (= LIFT_CHECKPOINT)
+    --shard <i/n>         run only grid cells with index % n == i and print
+                          a partial JSON report (fig7/fig8/ablation/bench;
+                          implies --json)
+    --spawn-workers <N>   fork N shard worker processes and merge their
+                          partial reports (requires --json)
+    --list-benchmarks     list benchmark names, ranks and domain sizes
+    -h, --help            this help
+
+Sharding, checkpointing and threading never change results: any
+combination reproduces the single-process, single-thread output
+byte-for-byte for the same seed.
+
+ENVIRONMENT:
+    LIFT_TUNE_BUDGET      tuner evaluations per variant (default 10)
+    LIFT_TUNE_THREADS     worker threads (default 1)
+    LIFT_CHECKPOINT       checkpoint file (default: none)
+    LIFT_CHECKPOINT_EVERY tells between checkpoint writes (default 16)
+    LIFT_FULL_SIZES=1     the paper's original grid sizes (slow)
+    LIFT_SEED             experiment seed (default 2018)
+";
 
 /// Renders one experiment to its output document, sweeping on up to
 /// `thread_budget` workers.
@@ -74,6 +124,137 @@ fn run_bench(name: &str, large: bool, json: bool) -> Result<(), LiftError> {
     Ok(())
 }
 
+/// Runs one shard of a sweep and prints its partial JSON report.
+fn run_shard(
+    cmd: &str,
+    bench_name: Option<&str>,
+    large: bool,
+    shard: Shard,
+) -> Result<(), LiftError> {
+    let doc = match cmd {
+        "fig7" => partial_fig7(shard, &fig7_shard(shard, threads())?),
+        "fig8" => partial_fig8(shard, &fig8_shard(shard, threads())?),
+        "ablation" => {
+            partial_ablation(shard, &ablation_shard(&ABLATION_BENCHES, shard, threads())?)
+        }
+        "bench" => {
+            let name = bench_name.expect("checked by the caller");
+            partial_bench(name, large, shard, &bench_shard(name, large, shard)?)
+        }
+        _ => unreachable!("callers dispatch only shardable experiments"),
+    };
+    print!("{doc}");
+    Ok(())
+}
+
+/// Forks `n` shard workers (this binary with `--shard i/n`), collects
+/// their partial reports and prints the merged document. The workers
+/// inherit this process's environment; when checkpointing is on each one
+/// derives its own `<path>.shard<i>of<n>` file from the inherited
+/// `LIFT_CHECKPOINT` (shard mode always does, see `main`) — checkpoint
+/// files must never be shared across processes.
+fn spawn_workers(n: usize, cmd: &str, bench_name: Option<&str>, large: bool) -> Result<(), String> {
+    let exe = std::env::current_exe().map_err(|e| format!("cannot find own binary: {e}"))?;
+    let mut children = Vec::new();
+    for i in 0..n {
+        let mut c = std::process::Command::new(&exe);
+        c.arg("--json").arg("--shard").arg(format!("{i}/{n}"));
+        c.arg(cmd);
+        if let Some(name) = bench_name {
+            c.arg(name);
+        }
+        if large {
+            c.arg("--large");
+        }
+        c.stdout(std::process::Stdio::piped());
+        let child = c
+            .spawn()
+            .map_err(|e| format!("cannot spawn shard {i}/{n}: {e}"))?;
+        children.push((i, child));
+    }
+    let mut parts = Vec::new();
+    let mut failed = false;
+    for (i, child) in children {
+        let out = child
+            .wait_with_output()
+            .map_err(|e| format!("shard {i}/{n} did not finish: {e}"))?;
+        if !out.status.success() {
+            // The worker already printed its diagnosis to our inherited
+            // stderr.
+            eprintln!("lift-harness: shard worker {i}/{n} failed ({})", out.status);
+            failed = true;
+            continue;
+        }
+        let text = String::from_utf8(out.stdout)
+            .map_err(|e| format!("shard {i}/{n} wrote non-UTF-8 output: {e}"))?;
+        parts.push((format!("shard {i}/{n}"), text));
+    }
+    if failed {
+        return Err("one or more shard workers failed".into());
+    }
+    print!("{}", merge_parts(&parts)?);
+    Ok(())
+}
+
+/// Reads and merges partial reports from files.
+fn run_merge(files: &[String]) -> Result<(), String> {
+    let mut parts = Vec::new();
+    for f in files {
+        let text = std::fs::read_to_string(f).map_err(|e| format!("{f}: {e}"))?;
+        parts.push((f.clone(), text));
+    }
+    print!("{}", merge_parts(&parts)?);
+    Ok(())
+}
+
+/// Prints the benchmark inventory: exact names (as `bench <name>` and the
+/// shard documentation reference them), rank and domain sizes.
+fn list_benchmarks(json: bool) {
+    let fmt_size = |s: &[usize]| {
+        s.iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("x")
+    };
+    let suite = lift_stencils::suite();
+    if json {
+        let rows: Vec<String> = suite
+            .iter()
+            .map(|b| {
+                format!(
+                    "{{\"name\": {}, \"rank\": {}, \"small\": {}, \"large\": {}}}",
+                    json_str(b.name),
+                    b.dims,
+                    json_str(&fmt_size(b.small)),
+                    b.large
+                        .map(|l| json_str(&fmt_size(l)))
+                        .unwrap_or_else(|| "null".to_string())
+                )
+            })
+            .collect();
+        println!("[\n  {}\n]", rows.join(",\n  "));
+    } else {
+        println!("Table-1 benchmarks (names as `bench <name>` expects them):");
+        println!(
+            "  {:<14}{:>5}  {:<14}{:<14}",
+            "Name", "Rank", "Small", "Large"
+        );
+        for b in &suite {
+            println!(
+                "  {:<14}{:>4}D  {:<14}{:<14}",
+                b.name,
+                b.dims,
+                fmt_size(b.small),
+                b.large.map(fmt_size).unwrap_or_else(|| "—".to_string())
+            );
+        }
+        println!(
+            "\n{} benchmarks; sizes honour LIFT_FULL_SIZES=1.",
+            suite.len()
+        );
+    }
+}
+
 fn run(cmd: &str, json: bool) -> Result<(), LiftError> {
     match cmd {
         "table1" | "fig7" | "fig8" | "ablation" => print!("{}", section(cmd, json, threads())?),
@@ -98,7 +279,8 @@ fn run(cmd: &str, json: bool) -> Result<(), LiftError> {
         }
         other => {
             eprintln!(
-                "unknown experiment `{other}`; use table1|fig7|fig8|ablation|bench <name>|all"
+                "unknown experiment `{other}`; use table1|fig7|fig8|ablation|bench <name>|all|merge \
+                 (or --help)"
             );
             std::process::exit(2);
         }
@@ -106,61 +288,174 @@ fn run(cmd: &str, json: bool) -> Result<(), LiftError> {
     Ok(())
 }
 
+fn usage_error(msg: &str) -> ! {
+    eprintln!("{msg}");
+    std::process::exit(2);
+}
+
 fn main() {
     let mut json = false;
     let mut large = false;
+    let mut list = false;
     let mut threads_flag: Option<String> = None;
-    let mut expect_threads = false;
+    let mut checkpoint_flag: Option<String> = None;
+    let mut shard_flag: Option<String> = None;
+    let mut workers_flag: Option<String> = None;
+    let mut expect_value: Option<&'static str> = None;
     let mut positional: Vec<String> = Vec::new();
     for arg in std::env::args().skip(1) {
-        if expect_threads {
-            threads_flag = Some(arg);
-            expect_threads = false;
+        if let Some(flag) = expect_value.take() {
+            match flag {
+                "--threads" => threads_flag = Some(arg),
+                "--checkpoint" => checkpoint_flag = Some(arg),
+                "--shard" => shard_flag = Some(arg),
+                "--spawn-workers" => workers_flag = Some(arg),
+                _ => unreachable!(),
+            }
             continue;
         }
         match arg.as_str() {
             "--json" => json = true,
             "--large" => large = true,
-            "--threads" => expect_threads = true,
+            "--list-benchmarks" => list = true,
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return;
+            }
+            f @ ("--threads" | "--checkpoint" | "--shard" | "--spawn-workers") => {
+                expect_value = Some(match f {
+                    "--threads" => "--threads",
+                    "--checkpoint" => "--checkpoint",
+                    "--shard" => "--shard",
+                    _ => "--spawn-workers",
+                });
+            }
             other => positional.push(other.to_string()),
         }
     }
-    if expect_threads {
-        eprintln!("--threads needs a worker count");
-        std::process::exit(2);
+    if let Some(flag) = expect_value {
+        usage_error(&format!("{flag} needs a value"));
+    }
+    if list {
+        if !positional.is_empty() {
+            usage_error("--list-benchmarks takes no experiment");
+        }
+        list_benchmarks(json);
+        return;
     }
     if let Some(t) = threads_flag {
         let Ok(n) = t.parse::<usize>() else {
-            eprintln!("--threads needs a positive integer, got `{t}`");
-            std::process::exit(2);
+            usage_error(&format!("--threads needs a positive integer, got `{t}`"));
         };
         if n == 0 {
-            eprintln!("--threads needs a positive integer, got `0`");
-            std::process::exit(2);
+            usage_error("--threads needs a positive integer, got `0`");
         }
         // The flag is sugar for the environment knob every layer reads
         // (sweep fan-out, tuner batches); set before any worker spawns.
         std::env::set_var("LIFT_TUNE_THREADS", n.to_string());
     }
+    if let Some(path) = checkpoint_flag {
+        if path.is_empty() {
+            usage_error("--checkpoint needs a file path");
+        }
+        // Same pattern: the driver resolves LIFT_CHECKPOINT for every
+        // tuning session the sweep starts.
+        std::env::set_var("LIFT_CHECKPOINT", path);
+    }
+    let shard: Option<Shard> = shard_flag.map(|s| {
+        let parts: Vec<&str> = s.split('/').collect();
+        let parsed = match parts.as_slice() {
+            [i, n] => i
+                .parse::<usize>()
+                .ok()
+                .zip(n.parse::<usize>().ok())
+                .and_then(|p| validate_shard(p).ok()),
+            _ => None,
+        };
+        parsed.unwrap_or_else(|| {
+            usage_error(&format!("--shard needs i/n with 0 <= i < n, got `{s}`"))
+        })
+    });
+    if let Some((i, n)) = shard {
+        // Checkpoint files must not be shared across processes: each
+        // manager rewrites the whole file from its own in-memory state, so
+        // concurrent shard workers pointed at one path would clobber each
+        // other's entries. Shard mode therefore always derives its own
+        // `<path>.shard<i>of<n>` — whether the base path came from
+        // `--checkpoint`, the environment, or a `--spawn-workers` parent.
+        if let Ok(base) = std::env::var("LIFT_CHECKPOINT") {
+            if !base.is_empty() {
+                std::env::set_var("LIFT_CHECKPOINT", format!("{base}.shard{i}of{n}"));
+            }
+        }
+    }
+
     let cmd = positional
         .first()
         .cloned()
         .unwrap_or_else(|| "all".to_string());
-    if positional.len() > 2 || (positional.len() == 2 && cmd != "bench") {
-        eprintln!("unexpected argument `{}`", positional.last().unwrap());
-        std::process::exit(2);
-    }
-    let result = if cmd == "bench" {
-        let Some(name) = positional.get(1) else {
-            eprintln!("`bench` needs a benchmark name; try `lift-harness table1` for the list");
-            std::process::exit(2);
-        };
-        run_bench(name, large, json)
-    } else {
-        if large {
-            eprintln!("--large only applies to `bench <name>`");
-            std::process::exit(2);
+
+    if cmd == "merge" {
+        let files = &positional[1..];
+        if files.is_empty() {
+            usage_error("merge needs at least one partial-report file");
         }
+        if let Err(e) = run_merge(files) {
+            eprintln!("lift-harness: {e}");
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    if positional.len() > 2 || (positional.len() == 2 && cmd != "bench") {
+        usage_error(&format!(
+            "unexpected argument `{}`",
+            positional.last().expect("len checked")
+        ));
+    }
+    let bench_name = positional.get(1).cloned();
+    if cmd == "bench" && bench_name.is_none() {
+        usage_error("`bench` needs a benchmark name; try `lift-harness --list-benchmarks`");
+    }
+    if large && cmd != "bench" {
+        usage_error("--large only applies to `bench <name>`");
+    }
+
+    let shardable = matches!(cmd.as_str(), "fig7" | "fig8" | "ablation" | "bench");
+    if let Some(n) = workers_flag {
+        let Ok(n) = n.parse::<usize>() else {
+            usage_error("--spawn-workers needs a positive integer");
+        };
+        if n == 0 {
+            usage_error("--spawn-workers needs a positive integer, got `0`");
+        }
+        if shard.is_some() {
+            usage_error("--spawn-workers and --shard are mutually exclusive");
+        }
+        if !shardable {
+            usage_error("--spawn-workers applies to fig7|fig8|ablation|bench <name>");
+        }
+        if !json {
+            usage_error("--spawn-workers is JSON-only; add --json");
+        }
+        if let Err(e) = spawn_workers(n, &cmd, bench_name.as_deref(), large) {
+            eprintln!("lift-harness: {e}");
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    let result = if let Some(shard) = shard {
+        if !shardable {
+            usage_error("--shard applies to fig7|fig8|ablation|bench <name>");
+        }
+        if !json {
+            usage_error("--shard writes a partial JSON report; add --json");
+        }
+        run_shard(&cmd, bench_name.as_deref(), large, shard)
+    } else if cmd == "bench" {
+        run_bench(bench_name.as_deref().expect("checked above"), large, json)
+    } else {
         run(&cmd, json)
     };
     if let Err(e) = result {

@@ -1,12 +1,29 @@
 //! Rendering of experiment results: plain text in the paper's shape, plus
 //! machine-readable JSON (`lift-harness --json`) for CI and perf tracking.
+//!
+//! Sharded sweeps add two more document kinds. A **partial report**
+//! ([`partial_report`]) is what `--shard i/n` writes: the shard's rows,
+//! pre-rendered with the exact same per-row formatters as the full JSON
+//! document and keyed by global cell index. [`merge_parts`] reassembles a
+//! complete set of partials — verifying the schema version, that every
+//! part belongs to the same sweep, and that every cell is present exactly
+//! once — into output **byte-identical** to the single-process `--json`
+//! run, because merging only reorders the already-rendered row strings.
 
-use crate::experiments::{AblationRow, BenchRow, Fig7Row, Fig8Row, Table1Row};
+use lift_tuner::json::Value;
+
+use crate::experiments::{AblationRow, BenchRow, Fig7Row, Fig8Row, Shard, ShardRows, Table1Row};
+
+/// The version written into (and required from) every partial shard
+/// report.
+pub const PARTIAL_SCHEMA_VERSION: u64 = 1;
 
 /// Escapes a string for a JSON literal (the names here are ASCII, but the
 /// device names contain spaces and the code must not silently corrupt
-/// anything else).
-fn json_str(s: &str) -> String {
+/// anything else). Public so every hand-assembled JSON document in the
+/// harness (rows here, the binary's `--list-benchmarks`) shares one
+/// escaper.
+pub fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -52,71 +69,255 @@ pub fn json_table1(rows: &[Table1Row]) -> String {
     }))
 }
 
+/// One Figure-7 row as a JSON object — the unit both the full document
+/// and the partial shard reports are assembled from.
+fn fig7_row_json(r: &Fig7Row) -> String {
+    format!(
+        "{{\"bench\": {}, \"device\": {}, \"lift_gelems\": {}, \"reference_gelems\": {}, \"lift_variant\": {}, \"lift_tiled\": {}}}",
+        json_str(&r.bench),
+        json_str(&r.device),
+        json_f64(r.lift_gelems),
+        json_f64(r.reference_gelems),
+        json_str(&r.lift_variant),
+        r.lift_tiled
+    )
+}
+
 /// Renders Figure 7 as a JSON array.
 pub fn json_fig7(rows: &[Fig7Row]) -> String {
-    json_array(rows.iter().map(|r| {
-        format!(
-            "{{\"bench\": {}, \"device\": {}, \"lift_gelems\": {}, \"reference_gelems\": {}, \"lift_variant\": {}, \"lift_tiled\": {}}}",
-            json_str(&r.bench),
-            json_str(&r.device),
-            json_f64(r.lift_gelems),
-            json_f64(r.reference_gelems),
-            json_str(&r.lift_variant),
-            r.lift_tiled
-        )
-    }))
+    json_array(rows.iter().map(fig7_row_json))
+}
+
+fn fig8_row_json(r: &Fig8Row) -> String {
+    format!(
+        "{{\"bench\": {}, \"device\": {}, \"size\": {}, \"speedup\": {}, \"lift_variant\": {}, \"lift_tiled\": {}}}",
+        json_str(&r.bench),
+        json_str(&r.device),
+        json_str(r.size),
+        json_f64(r.speedup),
+        json_str(&r.lift_variant),
+        r.lift_tiled
+    )
 }
 
 /// Renders Figure 8 as a JSON array.
 pub fn json_fig8(rows: &[Fig8Row]) -> String {
-    json_array(rows.iter().map(|r| {
-        format!(
-            "{{\"bench\": {}, \"device\": {}, \"size\": {}, \"speedup\": {}, \"lift_variant\": {}, \"lift_tiled\": {}}}",
-            json_str(&r.bench),
-            json_str(&r.device),
-            json_str(r.size),
-            json_f64(r.speedup),
-            json_str(&r.lift_variant),
-            r.lift_tiled
-        )
-    }))
+    json_array(rows.iter().map(fig8_row_json))
+}
+
+fn ablation_row_json(r: &AblationRow) -> String {
+    format!(
+        "{{\"bench\": {}, \"device\": {}, \"variant\": {}, \"gelems\": {}, \"rel_to_best\": {}}}",
+        json_str(&r.bench),
+        json_str(&r.device),
+        json_str(&r.variant),
+        json_f64(r.gelems),
+        json_f64(r.rel_to_best)
+    )
 }
 
 /// Renders the ablation study as a JSON array.
 pub fn json_ablation(rows: &[AblationRow]) -> String {
-    json_array(rows.iter().map(|r| {
-        format!(
-            "{{\"bench\": {}, \"device\": {}, \"variant\": {}, \"gelems\": {}, \"rel_to_best\": {}}}",
-            json_str(&r.bench),
-            json_str(&r.device),
-            json_str(&r.variant),
-            json_f64(r.gelems),
-            json_f64(r.rel_to_best)
-        )
-    }))
+    json_array(rows.iter().map(ablation_row_json))
+}
+
+fn bench_row_json(r: &BenchRow) -> String {
+    let config = r
+        .config
+        .iter()
+        .map(|(n, v)| format!("{}: {v}", json_str(n)))
+        .collect::<Vec<_>>()
+        .join(", ");
+    format!(
+        "{{\"bench\": {}, \"device\": {}, \"variant\": {}, \"time_s\": {}, \"gelems\": {}, \"config\": {{{config}}}, \"winner\": {}, \"tiled\": {}, \"local_mem\": {}}}",
+        json_str(&r.bench),
+        json_str(&r.device),
+        json_str(&r.variant),
+        json_f64(r.time_s),
+        json_f64(r.gelems),
+        r.winner,
+        r.tiled,
+        r.local_mem
+    )
 }
 
 /// Renders a single-benchmark report as a JSON array.
 pub fn json_bench(rows: &[BenchRow]) -> String {
-    json_array(rows.iter().map(|r| {
-        let config = r
-            .config
-            .iter()
-            .map(|(n, v)| format!("{}: {v}", json_str(n)))
-            .collect::<Vec<_>>()
-            .join(", ");
-        format!(
-            "{{\"bench\": {}, \"device\": {}, \"variant\": {}, \"time_s\": {}, \"gelems\": {}, \"config\": {{{config}}}, \"winner\": {}, \"tiled\": {}, \"local_mem\": {}}}",
-            json_str(&r.bench),
-            json_str(&r.device),
-            json_str(&r.variant),
-            json_f64(r.time_s),
-            json_f64(r.gelems),
-            r.winner,
-            r.tiled,
-            r.local_mem
-        )
-    }))
+    json_array(rows.iter().map(bench_row_json))
+}
+
+/// Renders one shard's slice of a sweep as a partial report document (see
+/// the [module docs](self)). `experiment` identifies the sweep (e.g.
+/// `"fig7"` or `"bench:Heat:small"`) so [`merge_parts`] can refuse to mix
+/// unrelated parts.
+pub fn partial_report<T>(
+    experiment: &str,
+    shard: Shard,
+    sharded: &ShardRows<T>,
+    row_json: impl Fn(&T) -> String,
+) -> String {
+    let groups = sharded
+        .groups
+        .iter()
+        .map(|(cell, rows)| {
+            Value::Obj(vec![
+                ("cell".into(), Value::UInt(*cell as u64)),
+                (
+                    "rows".into(),
+                    Value::Arr(rows.iter().map(|r| Value::Str(row_json(r))).collect()),
+                ),
+            ])
+        })
+        .collect();
+    let doc = Value::Obj(vec![
+        ("schema_version".into(), Value::UInt(PARTIAL_SCHEMA_VERSION)),
+        ("experiment".into(), Value::Str(experiment.to_string())),
+        ("shard".into(), Value::UInt(shard.0 as u64)),
+        ("shard_count".into(), Value::UInt(shard.1 as u64)),
+        ("cells".into(), Value::UInt(sharded.cells as u64)),
+        ("groups".into(), Value::Arr(groups)),
+    ]);
+    let mut text = doc.to_json();
+    text.push('\n');
+    text
+}
+
+/// The convenience partial renderers, one per shardable experiment.
+pub fn partial_fig7(shard: Shard, sharded: &ShardRows<Fig7Row>) -> String {
+    partial_report("fig7", shard, sharded, fig7_row_json)
+}
+
+/// Partial Figure-8 shard report.
+pub fn partial_fig8(shard: Shard, sharded: &ShardRows<Fig8Row>) -> String {
+    partial_report("fig8", shard, sharded, fig8_row_json)
+}
+
+/// Partial ablation shard report.
+pub fn partial_ablation(shard: Shard, sharded: &ShardRows<AblationRow>) -> String {
+    partial_report("ablation", shard, sharded, ablation_row_json)
+}
+
+/// Partial single-benchmark shard report. The experiment id embeds the
+/// benchmark name and size so shards of different benchmarks never merge.
+pub fn partial_bench(
+    name: &str,
+    large: bool,
+    shard: Shard,
+    sharded: &ShardRows<BenchRow>,
+) -> String {
+    let size = if large { "large" } else { "small" };
+    partial_report(
+        &format!("bench:{name}:{size}"),
+        shard,
+        sharded,
+        bench_row_json,
+    )
+}
+
+/// Recombines a complete set of partial shard reports into the JSON
+/// document the single-process `--json` run would have printed,
+/// byte-identically.
+///
+/// # Errors
+///
+/// A human-readable message when the parts are not a complete, consistent
+/// set: a part fails to parse or carries a different schema version, the
+/// parts name different experiments, shard counts or cell totals, two
+/// parts cover the same cell, or a cell is missing (a shard was not run
+/// or its file was not passed).
+pub fn merge_parts(parts: &[(String, String)]) -> Result<String, String> {
+    if parts.is_empty() {
+        return Err("no partial reports to merge".into());
+    }
+    let mut experiment: Option<String> = None;
+    let mut shard_count: Option<u64> = None;
+    let mut cells: Option<u64> = None;
+    let mut groups: Vec<(u64, Vec<String>, String)> = Vec::new();
+    for (origin, text) in parts {
+        let doc = Value::parse(text).map_err(|e| format!("{origin}: not valid JSON: {e}"))?;
+        let version = doc.get("schema_version").and_then(Value::as_u64);
+        if version != Some(PARTIAL_SCHEMA_VERSION) {
+            return Err(format!(
+                "{origin}: unsupported partial-report schema_version {} (this build reads \
+                 version {PARTIAL_SCHEMA_VERSION}); is this a partial report written by \
+                 `lift-harness --shard`?",
+                version.map_or("<missing>".to_string(), |v| v.to_string()),
+            ));
+        }
+        let field = |name: &str| {
+            doc.get(name)
+                .ok_or_else(|| format!("{origin}: field `{name}` is missing"))
+        };
+        let exp = field("experiment")?
+            .as_str()
+            .ok_or_else(|| format!("{origin}: `experiment` is not a string"))?
+            .to_string();
+        match &experiment {
+            None => experiment = Some(exp),
+            Some(e) if *e == exp => {}
+            Some(e) => {
+                return Err(format!(
+                    "{origin}: is a shard of `{exp}`, but earlier parts are shards of `{e}`"
+                ))
+            }
+        }
+        for (name, slot) in [("shard_count", &mut shard_count), ("cells", &mut cells)] {
+            let got = field(name)?
+                .as_u64()
+                .ok_or_else(|| format!("{origin}: `{name}` is not an integer"))?;
+            match *slot {
+                None => *slot = Some(got),
+                Some(expected) if expected == got => {}
+                Some(expected) => {
+                    return Err(format!(
+                        "{origin}: `{name}` is {got}, but earlier parts say {expected}"
+                    ))
+                }
+            }
+        }
+        for group in field("groups")?
+            .as_arr()
+            .ok_or_else(|| format!("{origin}: `groups` is not an array"))?
+        {
+            let cell = group
+                .get("cell")
+                .and_then(Value::as_u64)
+                .ok_or_else(|| format!("{origin}: a group has no integer `cell`"))?;
+            let rows = group
+                .get("rows")
+                .and_then(Value::as_arr)
+                .ok_or_else(|| format!("{origin}: group {cell} has no `rows` array"))?
+                .iter()
+                .map(|r| {
+                    r.as_str()
+                        .map(str::to_string)
+                        .ok_or_else(|| format!("{origin}: group {cell} has a non-string row"))
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            groups.push((cell, rows, origin.clone()));
+        }
+    }
+    groups.sort_by_key(|(cell, _, _)| *cell);
+    let total = cells.expect("set by the first part");
+    for (i, (cell, _, origin)) in groups.iter().enumerate() {
+        if *cell != i as u64 {
+            return Err(if *cell < i as u64 {
+                format!("cell {cell} appears twice (second time in {origin})")
+            } else {
+                format!(
+                    "cell {i} is missing; pass every shard's file ({} of {total} cells present)",
+                    groups.len()
+                )
+            });
+        }
+    }
+    if groups.len() != total as usize {
+        return Err(format!(
+            "expected {total} cells, got {}; pass every shard's file",
+            groups.len()
+        ));
+    }
+    Ok(json_array(groups.into_iter().flat_map(|(_, rows, _)| rows)))
 }
 
 /// Renders a single-benchmark report: per device, every tuned variant with
@@ -293,6 +494,93 @@ mod tests {
         assert_eq!(json_str("a\"b\\c"), "\"a\\\"b\\\\c\"");
         // Non-finite numbers must not produce invalid JSON.
         assert_eq!(json_f64(f64::NAN), "null");
+    }
+
+    fn fake_fig7(n: usize) -> Vec<Fig7Row> {
+        (0..n)
+            .map(|i| Fig7Row {
+                bench: format!("Bench{i}"),
+                device: "Dev".into(),
+                lift_gelems: 1.0 + i as f64 * 0.125,
+                reference_gelems: 0.5,
+                lift_variant: "global".into(),
+                lift_tiled: i % 2 == 0,
+            })
+            .collect()
+    }
+
+    /// Splits `rows` into `count` shard documents exactly as `--shard`
+    /// would produce them (cell `c` on shard `c % count`).
+    fn shards_of(rows: &[Fig7Row], count: usize) -> Vec<(String, String)> {
+        (0..count)
+            .map(|index| {
+                let sharded = ShardRows {
+                    cells: rows.len(),
+                    groups: rows
+                        .iter()
+                        .enumerate()
+                        .filter(|(c, _)| c % count == index)
+                        .map(|(c, r)| (c, vec![r.clone()]))
+                        .collect(),
+                };
+                (
+                    format!("part{index}.json"),
+                    partial_fig7((index, count), &sharded),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn merge_reassembles_byte_identically_in_any_order() {
+        let rows = fake_fig7(7);
+        let single = json_fig7(&rows);
+        for count in [1usize, 2, 3, 7] {
+            let mut parts = shards_of(&rows, count);
+            parts.reverse(); // file order must not matter
+            assert_eq!(
+                merge_parts(&parts).expect("complete set merges"),
+                single,
+                "count={count}"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_rejects_incomplete_or_inconsistent_sets() {
+        let rows = fake_fig7(6);
+        let parts = shards_of(&rows, 3);
+        // A missing shard is a missing cell, named.
+        let err = merge_parts(&parts[..2]).expect_err("incomplete");
+        assert!(err.contains("missing"), "{err}");
+        // A duplicated shard is a duplicate cell, named.
+        let mut dup = parts.clone();
+        dup.push(parts[0].clone());
+        let err = merge_parts(&dup).expect_err("duplicate");
+        assert!(err.contains("twice"), "{err}");
+        // Parts of different experiments never mix.
+        let mut mixed = parts.clone();
+        mixed[1].1 = mixed[1].1.replace("\"fig7\"", "\"fig8\"");
+        let err = merge_parts(&mixed).expect_err("mixed experiments");
+        assert!(err.contains("fig8"), "{err}");
+        // A wrong schema version names both versions.
+        let mut versioned = parts.clone();
+        versioned[0].1 = versioned[0]
+            .1
+            .replace("\"schema_version\":1", "\"schema_version\":9");
+        let err = merge_parts(&versioned).expect_err("bad version");
+        assert!(err.contains("schema_version 9"), "{err}");
+        // Garbage is a parse error naming the file.
+        let err = merge_parts(&[("broken.json".into(), "not json".into())]).expect_err("garbage");
+        assert!(err.contains("broken.json"), "{err}");
+        // Cells that produce no rows (fig8 skips) still count as covered.
+        let empty_ok = ShardRows::<Fig8Row> {
+            cells: 1,
+            groups: vec![(0, Vec::new())],
+        };
+        let merged = merge_parts(&[("p.json".into(), partial_fig8((0, 1), &empty_ok))])
+            .expect("empty cells merge");
+        assert_eq!(merged, json_fig8(&[]));
     }
 
     #[test]

@@ -1,0 +1,188 @@
+//! The distributed-tuning contract, exercised through the real binary:
+//! shard + merge and kill + resume both reproduce the single-process JSON
+//! document byte-for-byte, and the new CLI surfaces fail loudly on
+//! misuse.
+
+use std::path::PathBuf;
+use std::process::{Command, Stdio};
+
+fn bin() -> Command {
+    let mut c = Command::new(env!("CARGO_BIN_EXE_lift-harness"));
+    // Keep the virtual-device work small: the contract under test is
+    // byte-identity, not tuning quality.
+    c.env("LIFT_TUNE_BUDGET", "2");
+    c
+}
+
+fn stdout_of(c: &mut Command) -> String {
+    let out = c.output().expect("binary runs");
+    assert!(
+        out.status.success(),
+        "exit {:?}, stderr:\n{}",
+        out.status.code(),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("utf-8 output")
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("lift-dist-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir
+}
+
+const BENCH: &str = "Jacobi2D5pt";
+
+#[test]
+fn shards_merge_byte_identically_to_the_single_process_run() {
+    let reference = stdout_of(bin().args(["--json", "bench", BENCH]));
+    let dir = tmp_dir("merge");
+    let mut files = Vec::new();
+    for i in 0..2 {
+        let part = stdout_of(bin().args(["--json", "--shard", &format!("{i}/2"), "bench", BENCH]));
+        let path = dir.join(format!("part{i}.json"));
+        std::fs::write(&path, part).expect("write part");
+        files.push(path.display().to_string());
+    }
+    let mut merge = bin();
+    merge.arg("merge").args(&files);
+    assert_eq!(
+        stdout_of(&mut merge),
+        reference,
+        "merge(shards) != single run"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn spawn_workers_matches_the_single_process_run() {
+    let reference = stdout_of(bin().args(["--json", "bench", BENCH]));
+    let spawned = stdout_of(bin().args(["--json", "--spawn-workers", "3", "bench", BENCH]));
+    assert_eq!(spawned, reference, "--spawn-workers 3 != single run");
+}
+
+#[test]
+fn killed_checkpointed_run_resumes_byte_identically() {
+    let dir = tmp_dir("resume");
+    let ck = dir.join("ck.json");
+    let ck = ck.display().to_string();
+    // A slightly larger budget so the kill lands mid-tuning (if the run
+    // beats the kill, resume simply replays a complete checkpoint — the
+    // assertion holds either way).
+    let budget = "6";
+    let reference = stdout_of(
+        bin()
+            .args(["--json", "bench", BENCH])
+            .env("LIFT_TUNE_BUDGET", budget),
+    );
+    let mut victim = bin()
+        .args(["--json", "--checkpoint", &ck, "bench", BENCH])
+        .env("LIFT_TUNE_BUDGET", budget)
+        .env("LIFT_CHECKPOINT_EVERY", "1")
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawns");
+    std::thread::sleep(std::time::Duration::from_millis(700));
+    victim.kill().ok();
+    victim.wait().ok();
+    let resumed = stdout_of(
+        bin()
+            .args(["--json", "--checkpoint", &ck, "bench", BENCH])
+            .env("LIFT_TUNE_BUDGET", budget)
+            .env("LIFT_CHECKPOINT_EVERY", "1"),
+    );
+    assert_eq!(resumed, reference, "resume-after-kill != uninterrupted run");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn shard_mode_derives_its_own_checkpoint_path() {
+    // Checkpoint managers rewrite their whole file from process-local
+    // state, so concurrent shard workers must never share one path: shard
+    // mode derives `<path>.shard<i>of<n>` whether the base path came from
+    // the flag, the environment, or a --spawn-workers parent.
+    let dir = tmp_dir("shard-ck");
+    let base = dir.join("ck.json");
+    let base_str = base.display().to_string();
+    stdout_of(
+        bin()
+            .args([
+                "--json",
+                "--shard",
+                "0/2",
+                "--checkpoint",
+                &base_str,
+                "bench",
+                BENCH,
+            ])
+            .env("LIFT_CHECKPOINT_EVERY", "1"),
+    );
+    assert!(
+        dir.join("ck.json.shard0of2").exists(),
+        "the worker writes its derived file"
+    );
+    assert!(
+        !base.exists(),
+        "the shared base path is never written by a shard worker"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn list_benchmarks_names_the_whole_suite() {
+    let text = stdout_of(bin().arg("--list-benchmarks"));
+    let json = stdout_of(bin().args(["--list-benchmarks", "--json"]));
+    for b in lift_stencils::suite() {
+        assert!(text.contains(b.name), "text listing misses {}", b.name);
+        assert!(
+            json.contains(&format!("\"name\": \"{}\"", b.name)),
+            "json listing misses {}",
+            b.name
+        );
+    }
+    assert!(text.contains("3D"), "ranks are listed");
+}
+
+#[test]
+fn cli_misuse_fails_loudly() {
+    // (args, expected exit code)
+    let cases: &[(&[&str], i32)] = &[
+        (&["--shard", "0/2", "bench", BENCH], 2),   // no --json
+        (&["--shard", "3/2", "--json", "fig7"], 2), // i >= n
+        (&["--shard", "zero/2", "--json", "fig7"], 2),
+        (&["--shard", "0/2", "--json", "table1"], 2), // not shardable
+        (&["--spawn-workers", "2", "table1", "--json"], 2),
+        (
+            &["--spawn-workers", "2", "--shard", "0/2", "--json", "fig7"],
+            2,
+        ),
+        (&["merge"], 2), // no files
+        (&["merge", "/no/such/file.json"], 1),
+        (&["--checkpoint"], 2), // missing value
+    ];
+    for (args, want) in cases {
+        let out = bin().args(*args).output().expect("runs");
+        assert_eq!(
+            out.status.code(),
+            Some(*want),
+            "args {args:?}: stderr {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        assert!(
+            !String::from_utf8_lossy(&out.stderr).is_empty(),
+            "args {args:?} must explain the failure"
+        );
+    }
+    // --help succeeds and documents the new surfaces.
+    let help = stdout_of(bin().arg("--help"));
+    for needle in [
+        "--shard",
+        "--checkpoint",
+        "--spawn-workers",
+        "merge",
+        "--list-benchmarks",
+    ] {
+        assert!(help.contains(needle), "--help misses {needle}");
+    }
+}

@@ -42,7 +42,8 @@
 //! * [`lift_codegen`] — view-based OpenCL-C code generation,
 //! * [`lift_oclsim`] — a virtual OpenCL GPU that executes generated kernels
 //!   and models their performance on K20c / HD 7970 / Mali profiles,
-//! * [`lift_tuner`] — ATF-style auto-tuning,
+//! * [`lift_tuner`] — ATF-style auto-tuning (batched ask/tell search with
+//!   snapshot/restore checkpointing),
 //! * [`lift_ppcg`] — the PPCG-like polyhedral baseline,
 //! * [`lift_stencils`] — the paper's benchmark suite (Table 1),
 //! * [`lift_driver`] — the staged pipeline, unified errors, kernel cache,
@@ -60,6 +61,6 @@ pub use lift_stencils;
 pub use lift_tuner;
 
 pub use lift_driver::{
-    BenchResult, Budget, CacheStats, CompiledStencil, DeviceSession, KernelCache, LiftError,
-    Pipeline, TuneOptions, TuneOutcome, TunedVariant, VariantSet,
+    BenchResult, Budget, CacheStats, CheckpointManager, CompiledStencil, DeviceSession,
+    KernelCache, LiftError, Pipeline, TuneOptions, TuneOutcome, TunedVariant, VariantSet,
 };
