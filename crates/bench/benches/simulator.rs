@@ -1,46 +1,28 @@
-//! Microbenchmark of the virtual OpenCL device: wall-clock cost of
-//! interpreting one kernel launch (this bounds how many tuner evaluations
-//! per second the harness can afford). Plain std timing — no external
-//! benchmark framework is available in this environment.
+//! Microbenchmark suite for the virtual OpenCL device: wall-clock cost of
+//! one kernel launch under both execution engines (this bounds how many
+//! tuner evaluations per second the harness can afford), plus the one-time
+//! cost of compiling a kernel's execution plan. Plain std timing — no
+//! external benchmark framework is available in this environment.
+//!
+//! The cases and timing protocol live in `lift_harness::perf` and also
+//! feed `lift-harness perf --json` (the `BENCH_sim.json` report CI
+//! tracks); this target is the interactive `cargo bench` view of the very
+//! same measurements.
 
-use std::hint::black_box;
-use std::time::Instant;
-
-use lift_driver::Pipeline;
-use lift_oclsim::{BufferData, DeviceProfile, VirtualDevice};
-use lift_stencils::by_name;
+use lift_harness::perf::microbenches;
 
 fn main() {
-    let bench = by_name("Jacobi2D5pt");
-    let sizes = [64usize, 64];
-    let dev = VirtualDevice::new(DeviceProfile::k20c());
-    let compiled = Pipeline::from_benchmark(&bench, &sizes)
-        .expect("pipeline")
-        .explore()
-        .expect("explores")
-        .on(&dev)
-        .with_config("global", &[("lx", 16), ("ly", 8)])
-        .expect("compiles");
-    let inputs: Vec<BufferData> = bench
-        .gen_inputs(&sizes, 1)
-        .into_iter()
-        .map(BufferData::F32)
-        .collect();
-
-    // Warm up, then time a few batches and keep the best mean.
-    black_box(compiled.run(&inputs).expect("runs"));
-    let mut best = f64::INFINITY;
-    for _ in 0..5 {
-        let t = Instant::now();
-        for _ in 0..10 {
-            black_box(compiled.run(black_box(&inputs)).expect("runs"));
-        }
-        best = best.min(t.elapsed().as_secs_f64() / 10.0);
+    println!("virtual device, one launch (K20c profile):");
+    for m in microbenches().expect("microbenches run") {
+        println!(
+            "  {:28} tree {:8.3} ms  plan {:8.3} ms  \
+             ({:4.1}x, {:7.2} Melem/s, plan-compile {:6.1} us)",
+            m.name,
+            m.tree_ms,
+            m.plan_ms,
+            m.tree_ms / m.plan_ms,
+            m.elems as f64 / (m.plan_ms * 1e-3) / 1e6,
+            m.plan_compile_us,
+        );
     }
-    let elems = (sizes[0] * sizes[1]) as f64;
-    println!(
-        "virtual_device/jacobi2d_64x64_k20c  {:>10.3} ms/launch  ({:.2} Melem/s interpreted)",
-        best * 1e3,
-        elems / best / 1e6
-    );
 }

@@ -440,10 +440,64 @@ pub struct Kernel {
     pub user_funs: Vec<Arc<UserFun>>,
 }
 
+/// Deterministic execution-slot assignment for every variable a kernel
+/// declares: scalars (including `for`-loop induction variables) and private
+/// arrays, in **pre-order declaration order** over the statement tree.
+///
+/// This is the stable contract interpreters and plan compilers share: a
+/// variable's slot index depends only on the kernel body, never on who walks
+/// it, so a bytecode plan and the reference tree interpreter resolve
+/// `VarRef`s to the same dense indices.
+#[derive(Debug, Clone, Default)]
+pub struct SlotMap {
+    /// Scalar variables; the vector position is the slot index.
+    pub scalars: Vec<(VarRef, CType)>,
+    /// Private arrays as `(variable, element type, length)`; the vector
+    /// position is the slot index.
+    pub priv_arrays: Vec<(VarRef, CType, usize)>,
+}
+
+impl SlotMap {
+    fn collect(&mut self, stmts: &[CStmt]) {
+        for s in stmts {
+            match s {
+                CStmt::DeclScalar { var, ty, .. } => self.add_scalar(var, *ty),
+                CStmt::DeclPrivateArray { var, ty, len }
+                    if !self.priv_arrays.iter().any(|(v, _, _)| v.id() == var.id()) =>
+                {
+                    self.priv_arrays.push((var.clone(), *ty, *len));
+                }
+                CStmt::For { var, body, .. } => {
+                    self.add_scalar(var, CType::Int);
+                    self.collect(body);
+                }
+                CStmt::If { then_, else_, .. } => {
+                    self.collect(then_);
+                    self.collect(else_);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    fn add_scalar(&mut self, var: &VarRef, ty: CType) {
+        if !self.scalars.iter().any(|(v, _)| v.id() == var.id()) {
+            self.scalars.push((var.clone(), ty));
+        }
+    }
+}
+
 impl Kernel {
     /// Total local memory consumed, in bytes.
     pub fn local_bytes(&self) -> usize {
         self.locals.iter().map(|l| l.len * 4).sum()
+    }
+
+    /// The kernel's stable slot assignment (see [`SlotMap`]).
+    pub fn slot_map(&self) -> SlotMap {
+        let mut m = SlotMap::default();
+        m.collect(&self.body);
+        m
     }
 
     /// The output parameter.

@@ -28,7 +28,7 @@ pub mod print;
 pub mod view;
 
 pub use clike::{
-    AddressSpace, BinOp, CExpr, CStmt, CType, Kernel, KernelParam, LocalBuffer, UnOp, VarRef,
-    WorkItemFn,
+    AddressSpace, BinOp, CExpr, CStmt, CType, Kernel, KernelParam, LocalBuffer, SlotMap, UnOp,
+    VarRef, WorkItemFn,
 };
 pub use compile::{compile_kernel, substitute_sizes, CodegenError};

@@ -1,18 +1,20 @@
 //! The compiled-kernel cache.
 //!
 //! Serving the same stencil to many users means compiling once and executing
-//! many times. The cache memoises [`Kernel`]s under a key of
+//! many times. The cache memoises [`PlannedKernel`]s — the generated kernel
+//! AST *plus* its simulator execution plan — under a key of
 //! (program fingerprint, variant name, bound tunable parameters, device
 //! profile), so a second session compiling the same (benchmark, device,
-//! config) triple reuses the stored kernel instead of re-running codegen.
-//! Hit/compile counters are exposed so tests — and future perf tracking —
-//! can assert cache behaviour.
+//! config) triple reuses both the stored kernel and its plan instead of
+//! re-running codegen or re-planning. Hit/compile counters are exposed so
+//! tests — and future perf tracking — can assert cache behaviour.
 //!
 //! Launch-only parameters (work-group sizes) are deliberately *not* part of
-//! the key: they never reach code generation, so every launch shape of one
-//! bound program shares a single compiled kernel. This also accelerates
-//! tuning, where the tuner sweeps work-group sizes far more often than it
-//! changes tunables.
+//! the key: they never reach code generation or plan compilation, so every
+//! launch shape of one bound program shares a single compiled kernel and
+//! plan. This also accelerates tuning, where the tuner sweeps work-group
+//! sizes far more often than it changes tunables — a variant is planned
+//! once and simulated hundreds of times.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -20,6 +22,7 @@ use std::sync::{Arc, Mutex, OnceLock};
 
 use lift_codegen::Kernel;
 use lift_core::expr::FunDecl;
+use lift_oclsim::PlannedKernel;
 
 use crate::error::LiftError;
 
@@ -49,10 +52,10 @@ pub struct CacheStats {
     pub hits: u64,
 }
 
-/// A concurrent map from [`CacheKey`] to compiled kernels.
+/// A concurrent map from [`CacheKey`] to compiled (and planned) kernels.
 #[derive(Debug, Default)]
 pub struct KernelCache {
-    map: Mutex<HashMap<CacheKey, Arc<Kernel>>>,
+    map: Mutex<HashMap<CacheKey, Arc<PlannedKernel>>>,
     compiles: AtomicU64,
     hits: AtomicU64,
 }
@@ -73,28 +76,40 @@ impl KernelCache {
 
     /// Returns the kernel for `key`, compiling it with `compile` on a miss.
     ///
+    /// Under the (default) plan engine a miss also compiles the simulator
+    /// execution plan eagerly, so every structural fault — including the
+    /// plan-level ones (`UnboundVariable`, provable `TypeMismatch`) —
+    /// surfaces here, at compile time, with the kernel name and statement
+    /// context, rather than mid-simulation. With `LIFT_SIM_ENGINE=tree`
+    /// the plan is neither built nor required, keeping the reference
+    /// interpreter a genuine escape hatch even for a kernel the plan
+    /// compiler would reject.
+    ///
     /// Concurrency: compilation runs outside the lock (codegen can be slow
     /// and other keys should not wait on it), so two threads racing on the
     /// same key may both compile. The map is re-checked under the lock
     /// afterwards: exactly one insert wins and is counted in
     /// [`CacheStats::compiles`]; the loser discards its duplicate, counts
     /// as a hit, and — like every later caller — receives the *cached*
-    /// `Arc`, so all holders of one key share one kernel.
+    /// `Arc`, so all holders of one key share one kernel and one plan.
     ///
     /// # Errors
     ///
-    /// Propagates the compiler's error on a miss; a failed compilation is
-    /// not cached.
+    /// Propagates the compiler's (or plan compiler's) error on a miss; a
+    /// failed compilation is not cached.
     pub fn get_or_compile(
         &self,
         key: CacheKey,
         compile: impl FnOnce() -> Result<Kernel, LiftError>,
-    ) -> Result<Arc<Kernel>, LiftError> {
+    ) -> Result<Arc<PlannedKernel>, LiftError> {
         if let Some(hit) = self.lock().get(&key).cloned() {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Ok(hit);
         }
-        let kernel = Arc::new(compile()?);
+        let kernel = Arc::new(PlannedKernel::new(compile()?));
+        if lift_oclsim::SimEngine::from_env() == lift_oclsim::SimEngine::Plan {
+            kernel.plan()?;
+        }
         match self.lock().entry(key) {
             std::collections::hash_map::Entry::Occupied(e) => {
                 // Lost the race: another thread inserted while we compiled.
@@ -133,7 +148,7 @@ impl KernelCache {
         self.hits.store(0, Ordering::Relaxed);
     }
 
-    fn lock(&self) -> std::sync::MutexGuard<'_, HashMap<CacheKey, Arc<Kernel>>> {
+    fn lock(&self) -> std::sync::MutexGuard<'_, HashMap<CacheKey, Arc<PlannedKernel>>> {
         self.map.lock().unwrap_or_else(|e| e.into_inner())
     }
 }
@@ -263,7 +278,7 @@ mod tests {
             device: "test".into(),
         };
         let barrier = Barrier::new(N);
-        let kernels: Vec<Arc<Kernel>> = std::thread::scope(|s| {
+        let kernels: Vec<Arc<PlannedKernel>> = std::thread::scope(|s| {
             let handles: Vec<_> = (0..N)
                 .map(|_| {
                     s.spawn(|| {

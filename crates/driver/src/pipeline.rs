@@ -593,11 +593,12 @@ pub struct TuneOutcome {
 }
 
 /// Stage 4 result: a compiled, launch-configured kernel bound to a device.
-/// Running it never recompiles; constructing the same configuration in a
-/// later session hits the kernel cache.
+/// Running it never recompiles (or re-plans — the simulator execution plan
+/// is cached alongside the kernel); constructing the same configuration in
+/// a later session hits the kernel cache.
 #[derive(Debug, Clone)]
 pub struct CompiledStencil {
-    kernel: Arc<lift_codegen::Kernel>,
+    kernel: Arc<lift_oclsim::PlannedKernel>,
     launch: LaunchConfig,
     device: VirtualDevice,
     variant: String,
@@ -610,12 +611,12 @@ pub struct CompiledStencil {
 impl CompiledStencil {
     /// The generated OpenCL C source.
     pub fn source(&self) -> String {
-        self.kernel.to_source()
+        self.kernel.kernel().to_source()
     }
 
     /// The compiled kernel AST (shared with the cache).
     pub fn kernel(&self) -> &Arc<lift_codegen::Kernel> {
-        &self.kernel
+        self.kernel.kernel()
     }
 
     /// The launch configuration `run` will use.
@@ -661,7 +662,7 @@ impl CompiledStencil {
     ///
     /// [`LiftError::Sim`] for launch misconfiguration or runtime faults.
     pub fn run(&self, inputs: &[BufferData]) -> Result<RunOutput, LiftError> {
-        Ok(self.device.run(&self.kernel, inputs, self.launch)?)
+        Ok(self.device.run_planned(&self.kernel, inputs, self.launch)?)
     }
 
     /// Executes `steps` time steps, rotating state buffers on the host (the
@@ -679,6 +680,6 @@ impl CompiledStencil {
     ) -> Result<IteratedOutput, LiftError> {
         Ok(self
             .device
-            .run_iterated(&self.kernel, inputs, self.launch, steps, rotation)?)
+            .run_iterated_planned(&self.kernel, inputs, self.launch, steps, rotation)?)
     }
 }

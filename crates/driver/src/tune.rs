@@ -219,7 +219,11 @@ pub(crate) fn kernel_name(program_name: &str, variant_name: &str) -> String {
     format!("{}_{}", sanitize(program_name), sanitize(variant_name))
 }
 
-/// Compiles a variant with its tunables bound, through the cache.
+/// Compiles a variant with its tunables bound, through the cache. The
+/// returned [`PlannedKernel`](lift_oclsim::PlannedKernel) carries both the
+/// kernel AST and its simulator execution plan, so every launch of this
+/// configuration — and of every other launch shape of the same binding —
+/// reuses one plan.
 pub(crate) fn compile_bound(
     cache: &KernelCache,
     device: &VirtualDevice,
@@ -227,7 +231,7 @@ pub(crate) fn compile_bound(
     variant: &Variant,
     variant_fp: u64,
     tun_values: &[(String, i64)],
-) -> Result<std::sync::Arc<lift_codegen::Kernel>, LiftError> {
+) -> Result<std::sync::Arc<lift_oclsim::PlannedKernel>, LiftError> {
     let kname = kernel_name(program_name, &variant.name);
     let key = CacheKey {
         program: variant_fp,
@@ -304,7 +308,7 @@ fn evaluate_config(
             variant.name
         ))
     })?;
-    let out = ctx.device.run(&kernel, &ctx.inputs, launch)?;
+    let out = ctx.device.run_planned(&kernel, &ctx.inputs, launch)?;
     if validate {
         if let Some(golden) = &ctx.golden {
             if !outputs_match(out.output.as_f32(), golden) {

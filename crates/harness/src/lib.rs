@@ -27,6 +27,7 @@
 //! one command. See [`experiments::Shard`] and [`report::merge_parts`].
 
 pub mod experiments;
+pub mod perf;
 pub mod report;
 
 pub use experiments::{

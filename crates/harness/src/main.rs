@@ -11,6 +11,7 @@
 //! lift-harness --json fig7        # machine-readable output for CI
 //! lift-harness --threads 8 all    # parallel sweep (same results, sooner)
 //! lift-harness --list-benchmarks  # exact names, ranks and domain sizes
+//! lift-harness perf [--json]      # simulator perf report → BENCH_sim.json
 //!
 //! # Distributed & resumable tuning:
 //! lift-harness --checkpoint ck.json fig7         # resumable (kill + rerun)
@@ -51,6 +52,9 @@ lift-harness — regenerate the paper's tables and figures
 USAGE:
     lift-harness [FLAGS] [table1|fig7|fig8|ablation|bench <name>|all]
     lift-harness merge <part.json>...
+    lift-harness perf [--json]      (writes BENCH_sim.json: fig7 sweep wall
+                                     time under both simulator engines +
+                                     per-kernel launch microbenchmarks)
     lift-harness --list-benchmarks [--json]
 
 FLAGS:
@@ -403,6 +407,29 @@ fn main() {
         if let Err(e) = run_merge(files) {
             eprintln!("lift-harness: {e}");
             std::process::exit(1);
+        }
+        return;
+    }
+
+    if cmd == "perf" {
+        if positional.len() > 1 {
+            usage_error("perf takes no further arguments");
+        }
+        match lift_harness::perf::perf_report() {
+            Ok(report) => {
+                let doc = report.to_json();
+                if let Err(e) = std::fs::write("BENCH_sim.json", &doc) {
+                    eprintln!("lift-harness: cannot write BENCH_sim.json: {e}");
+                    std::process::exit(1);
+                }
+                // --json prints the document that was written; the default
+                // is a human-readable summary.
+                print!("{}", if json { doc } else { report.render() });
+            }
+            Err(e) => {
+                eprintln!("lift-harness: {e}");
+                std::process::exit(1);
+            }
         }
         return;
     }

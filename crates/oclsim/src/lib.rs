@@ -5,13 +5,13 @@
 //! HD 7970, ARM Mali-T628). This environment has none, so this crate
 //! substitutes a **two-part virtual device** (see DESIGN.md §1):
 //!
-//! 1. **Executor** ([`exec`]): a lock-step work-group interpreter for the
+//! 1. **Executor** ([`exec`]): a lock-step work-group executor for the
 //!    [`lift_codegen::Kernel`] AST. Work-items of a group advance statement
 //!    by statement (the classic POCL work-item-loop construction), which
 //!    gives exact OpenCL barrier semantics for the uniform control flow Lift
 //!    generates, and detects barriers in divergent flow as errors. Outputs
 //!    are bit-exact, so kernels are validated against golden references.
-//! 2. **Performance model** ([`perf`]): while executing, the interpreter
+//! 2. **Performance model** ([`perf`]): while executing, the executor
 //!    collects *memory transactions* (128-byte segment coalescing per
 //!    warp/wavefront), local-memory traffic, ALU work and barriers; the
 //!    [`device::DeviceProfile`] prices these into a modeled runtime using
@@ -21,13 +21,43 @@
 //!    HD 7970 profile's caches make tiling mostly unnecessary, and the
 //!    Mali profile has **no hardware local memory** (its "local" traffic is
 //!    ordinary memory traffic, so `toLocal` copies are pure overhead).
+//!
+//! # Two-stage execution: plan compile → run
+//!
+//! Because the simulator *is* the autotuner's hot path (every tuner
+//! evaluation is a simulated launch), execution is split into two stages:
+//!
+//! 1. **Plan compilation** ([`plan`]): the kernel AST is lowered once into
+//!    a flat, slot-resolved bytecode [`Plan`] — variables and buffers
+//!    become dense indices (an unbound variable is a *compile-time* error),
+//!    structured control flow becomes jump offsets, and lane-invariant
+//!    expressions are marked for once-per-group evaluation.
+//! 2. **Launch** ([`exec`]): a register-machine inner loop drives the plan
+//!    with one scratch arena reused across all work-groups.
+//!
+//! [`VirtualDevice::run`] plans on the fly; [`VirtualDevice::run_planned`]
+//! takes a [`PlannedKernel`] whose plan is compiled at most once — the
+//! `lift-driver` kernel cache stores these, so tuning a variant across
+//! hundreds of configurations plans exactly once.
+//!
+//! **Determinism contract:** the plan engine and the original tree-walking
+//! interpreter (still available, `LIFT_SIM_ENGINE=tree` or
+//! [`runtime::SimEngine::Tree`]) produce byte-identical outputs,
+//! [`KernelStats`] and modeled times; they differ only in host-side speed.
+//! The differential suite (`tests/sim_differential.rs` at the workspace
+//! root) and a CI byte-diff of whole experiment sweeps hold the two
+//! engines in lock-step.
 
 pub mod device;
 pub mod exec;
 pub mod perf;
+pub mod plan;
 pub mod runtime;
 
 pub use device::DeviceProfile;
 pub use exec::SimError;
 pub use perf::KernelStats;
-pub use runtime::{BufferData, IteratedOutput, LaunchConfig, Rotation, RunOutput, VirtualDevice};
+pub use plan::{Plan, PlannedKernel};
+pub use runtime::{
+    BufferData, IteratedOutput, LaunchConfig, Rotation, RunOutput, SimEngine, VirtualDevice,
+};

@@ -9,7 +9,10 @@ use crate::device::DeviceProfile;
 pub const SEGMENT_BYTES: u64 = 128;
 
 /// Events observed while executing a kernel on the virtual device.
-#[derive(Debug, Clone, Default)]
+///
+/// Equality is field-wise and exact — the differential tests compare the
+/// plan engine against the reference interpreter with `==`.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct KernelStats {
     /// Raw scalar loads from global memory.
     pub global_loads: u64,

@@ -3,8 +3,51 @@
 use lift_codegen::clike::{CType, Kernel};
 
 use crate::device::DeviceProfile;
-use crate::exec::{Machine, SimError};
+use crate::exec::{Machine, PlanMachine, SimError};
 use crate::perf::KernelStats;
+use crate::plan::{Plan, PlannedKernel};
+
+/// Which executor drives a launch.
+///
+/// Both engines implement identical semantics — outputs, [`KernelStats`]
+/// and modeled times are byte-for-byte equal; they differ only in host-side
+/// speed. The default is [`SimEngine::Plan`]; set `LIFT_SIM_ENGINE=tree` to
+/// force the reference interpreter (CI uses this to byte-diff whole
+/// experiment sweeps across engines).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimEngine {
+    /// The slot-resolved bytecode plan executed by the register-machine
+    /// inner loop (see [`crate::plan`]). Fast; the default.
+    Plan,
+    /// The original tree-walking interpreter, kept as the executable
+    /// reference semantics.
+    Tree,
+}
+
+impl SimEngine {
+    /// The engine selected by `LIFT_SIM_ENGINE`: `"tree"` forces the
+    /// reference interpreter, `"plan"` (or unset/empty) the bytecode plan
+    /// — case-insensitively.
+    ///
+    /// # Panics
+    ///
+    /// On any other value. A typo like `LIFT_SIM_ENGINE=Tree-engine`
+    /// silently selecting the plan would make the cross-engine byte-diffs
+    /// CI relies on compare the plan against itself and pass vacuously, so
+    /// a misconfigured switch fails loudly at the first launch instead.
+    pub fn from_env() -> SimEngine {
+        match std::env::var("LIFT_SIM_ENGINE") {
+            Ok(v) => match v.to_ascii_lowercase().as_str() {
+                "tree" => SimEngine::Tree,
+                "plan" | "" => SimEngine::Plan,
+                other => {
+                    panic!("unrecognised LIFT_SIM_ENGINE value `{other}`; use \"plan\" or \"tree\"")
+                }
+            },
+            Err(_) => SimEngine::Plan,
+        }
+    }
+}
 
 /// A host/device buffer.
 #[derive(Debug, Clone, PartialEq)]
@@ -186,9 +229,13 @@ impl VirtualDevice {
     }
 
     /// Executes `kernel` on `inputs` (one per non-output parameter, in
-    /// order) with the given launch configuration.
+    /// order) with the given launch configuration, using the engine
+    /// selected by `LIFT_SIM_ENGINE` (the bytecode plan by default).
     ///
     /// The output buffer is allocated zero-initialised by the runtime.
+    /// Under the plan engine the kernel is plan-compiled on every call; use
+    /// [`VirtualDevice::run_planned`] with a [`PlannedKernel`] to compile
+    /// once and run many times (the tuning hot path does).
     ///
     /// # Errors
     ///
@@ -198,6 +245,64 @@ impl VirtualDevice {
     pub fn run(
         &self,
         kernel: &Kernel,
+        inputs: &[BufferData],
+        cfg: LaunchConfig,
+    ) -> Result<RunOutput, SimError> {
+        self.run_with_engine(kernel, inputs, cfg, SimEngine::from_env())
+    }
+
+    /// [`VirtualDevice::run`] on an explicitly-chosen engine (the
+    /// differential tests drive both and assert bit-identical results).
+    ///
+    /// # Errors
+    ///
+    /// As [`VirtualDevice::run`], plus plan-compilation faults under
+    /// [`SimEngine::Plan`].
+    pub fn run_with_engine(
+        &self,
+        kernel: &Kernel,
+        inputs: &[BufferData],
+        cfg: LaunchConfig,
+        engine: SimEngine,
+    ) -> Result<RunOutput, SimError> {
+        match engine {
+            SimEngine::Tree => self.run_inner(kernel, None, inputs, cfg),
+            SimEngine::Plan => {
+                let plan = Plan::compile(kernel)?;
+                self.run_inner(kernel, Some(&plan), inputs, cfg)
+            }
+        }
+    }
+
+    /// Executes a pre-planned kernel: the plan is compiled at most once for
+    /// the kernel's lifetime (the driver's kernel cache holds
+    /// [`PlannedKernel`]s, so tuning a variant across hundreds of
+    /// configurations never re-plans).
+    ///
+    /// # Errors
+    ///
+    /// As [`VirtualDevice::run`].
+    pub fn run_planned(
+        &self,
+        kernel: &PlannedKernel,
+        inputs: &[BufferData],
+        cfg: LaunchConfig,
+    ) -> Result<RunOutput, SimError> {
+        match SimEngine::from_env() {
+            SimEngine::Tree => self.run_inner(kernel.kernel(), None, inputs, cfg),
+            SimEngine::Plan => {
+                let plan = kernel.plan()?;
+                self.run_inner(kernel.kernel(), Some(&plan), inputs, cfg)
+            }
+        }
+    }
+
+    /// Validates the launch, binds buffers and drives one of the two
+    /// executors (`plan: None` selects the tree interpreter).
+    fn run_inner(
+        &self,
+        kernel: &Kernel,
+        plan: Option<&Plan>,
         inputs: &[BufferData],
         cfg: LaunchConfig,
     ) -> Result<RunOutput, SimError> {
@@ -240,9 +345,18 @@ impl VirtualDevice {
         }
 
         let warp = self.profile.warp_width as usize;
-        let mut machine = Machine::new(kernel, &mut buffers, cfg, warp)?;
-        machine.run()?;
-        let stats = machine.stats.clone();
+        let stats = match plan {
+            Some(plan) => {
+                let mut machine = PlanMachine::new(plan, &mut buffers, cfg, warp);
+                machine.run()?;
+                machine.stats
+            }
+            None => {
+                let mut machine = Machine::new(kernel, &mut buffers, cfg, warp)?;
+                machine.run()?;
+                machine.stats
+            }
+        };
         let time_s = stats.model_time(&self.profile);
 
         let out_pos = kernel
@@ -298,6 +412,52 @@ impl VirtualDevice {
         steps: usize,
         rotation: Rotation,
     ) -> Result<IteratedOutput, SimError> {
+        // Compile once, launch `steps` times.
+        let plan = match SimEngine::from_env() {
+            SimEngine::Plan => Some(Plan::compile(kernel)?),
+            SimEngine::Tree => None,
+        };
+        self.run_iterated_inner(kernel, plan.as_ref(), inputs, cfg, steps, rotation)
+    }
+
+    /// [`VirtualDevice::run_iterated`] for a pre-planned kernel — the plan
+    /// is reused across all `steps` launches (and every other launch of the
+    /// same [`PlannedKernel`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`VirtualDevice::run_iterated`].
+    pub fn run_iterated_planned(
+        &self,
+        kernel: &PlannedKernel,
+        inputs: &[BufferData],
+        cfg: LaunchConfig,
+        steps: usize,
+        rotation: Rotation,
+    ) -> Result<IteratedOutput, SimError> {
+        let plan = match SimEngine::from_env() {
+            SimEngine::Plan => Some(kernel.plan()?),
+            SimEngine::Tree => None,
+        };
+        self.run_iterated_inner(
+            kernel.kernel(),
+            plan.as_deref(),
+            inputs,
+            cfg,
+            steps,
+            rotation,
+        )
+    }
+
+    fn run_iterated_inner(
+        &self,
+        kernel: &Kernel,
+        plan: Option<&Plan>,
+        inputs: &[BufferData],
+        cfg: LaunchConfig,
+        steps: usize,
+        rotation: Rotation,
+    ) -> Result<IteratedOutput, SimError> {
         let needed = match rotation {
             Rotation::SingleBuffer => 1,
             Rotation::Leapfrog => 2,
@@ -312,7 +472,7 @@ impl VirtualDevice {
         let mut total_time = 0.0;
         let mut last = state[needed - 1].clone();
         for _ in 0..steps {
-            let out = self.run(kernel, &state, cfg)?;
+            let out = self.run_inner(kernel, plan, &state, cfg)?;
             total_time += out.time_s;
             match rotation {
                 Rotation::SingleBuffer => {
