@@ -25,6 +25,8 @@
 //! assert_eq!(count.eval(&env).unwrap(), 8);
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod eval;
 mod expr;
 pub mod range;

@@ -12,5 +12,7 @@
 //! Knobs: `LIFT_TUNE_BUDGET` (evaluations per variant, default 10),
 //! `LIFT_FULL_SIZES=1` (paper-sized grids), `LIFT_SEED`.
 
+#![forbid(unsafe_code)]
+
 /// Marker so the crate builds a (tiny) library alongside the bench targets.
 pub const PAPER: &str = "High Performance Stencil Code Generation with Lift, CGO 2018";

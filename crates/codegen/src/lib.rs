@@ -22,6 +22,8 @@
 //! sizes and tuner parameters into the program first (see
 //! [`compile::substitute_sizes`]).
 
+#![forbid(unsafe_code)]
+
 pub mod clike;
 pub mod compile;
 pub mod print;

@@ -51,6 +51,8 @@
 //! one-element array `[U]_1` — this is how the paper's own listings use it
 //! (Listing 2 maps `sumNbh` straight over the neighbourhoods).
 
+#![forbid(unsafe_code)]
+
 pub mod build;
 pub mod eval;
 pub mod expr;

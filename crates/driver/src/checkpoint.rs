@@ -52,6 +52,8 @@ pub const CHECKPOINT_SCHEMA_VERSION: u64 = 1;
 pub(crate) struct CheckpointEntry {
     pub state: SearchState,
     pub first_failure: Option<String>,
+    /// Configurations the static verifier rejected before simulation.
+    pub pruned: usize,
 }
 
 struct Inner {
@@ -138,6 +140,7 @@ impl CheckpointManager {
         key: &str,
         state: SearchState,
         first_failure: Option<String>,
+        pruned: usize,
         tells_delta: usize,
     ) {
         let mut inner = self.inner.lock().expect("checkpoint lock poisoned");
@@ -146,6 +149,7 @@ impl CheckpointManager {
             CheckpointEntry {
                 state,
                 first_failure,
+                pruned,
             },
         );
         inner.tells_since_write += tells_delta;
@@ -230,11 +234,19 @@ fn parse_file(text: &str) -> Result<BTreeMap<String, CheckpointEntry>, String> {
                     .to_string(),
             ),
         };
+        // Absent in files written before the static verifier existed.
+        let pruned = match entry.get("pruned") {
+            None | Some(Value::Null) => 0,
+            Some(Value::UInt(n)) => *n as usize,
+            Some(Value::Int(n)) => (*n).max(0) as usize,
+            Some(_) => return Err(format!("entry `{key}`: `pruned` is not an integer")),
+        };
         entries.insert(
             key.clone(),
             CheckpointEntry {
                 state,
                 first_failure,
+                pruned,
             },
         );
     }
@@ -257,6 +269,7 @@ fn render_file(entries: &BTreeMap<String, CheckpointEntry>) -> String {
                             .map(|m| Value::Str(m.clone()))
                             .unwrap_or(Value::Null),
                     ),
+                    ("pruned".into(), Value::UInt(entry.pruned as u64)),
                 ]),
             )
         })
@@ -308,6 +321,7 @@ mod tests {
             CheckpointEntry {
                 state: state(),
                 first_failure: Some("local memory exhausted".into()),
+                pruned: 3,
             },
         );
         entries.insert(
@@ -315,6 +329,7 @@ mod tests {
             CheckpointEntry {
                 state: state(),
                 first_failure: None,
+                pruned: 0,
             },
         );
         let text = render_file(&entries);
@@ -329,6 +344,8 @@ mod tests {
             Some("local memory exhausted")
         );
         assert_eq!(back["B@dev@8x8#tiled"].first_failure, None);
+        assert_eq!(back["B@dev@8x8#global"].pruned, 3);
+        assert_eq!(back["B@dev@8x8#tiled"].pruned, 0);
     }
 
     #[test]
@@ -349,7 +366,7 @@ mod tests {
         let a = CheckpointManager::at(&path, 1).unwrap();
         let b = CheckpointManager::at(&path, 999).unwrap();
         assert!(Arc::ptr_eq(&a, &b), "one manager per path");
-        a.record("k", state(), None, 5);
+        a.record("k", state(), None, 0, 5);
         assert!(path.exists(), "cadence 1 writes on the first record");
         assert!(b.lookup("k").is_some(), "shared state visible through both");
         b.flush().unwrap();

@@ -32,6 +32,16 @@ pub enum LiftError {
     Codegen(CodegenError),
     /// The virtual device rejected or faulted on a kernel.
     Sim(SimError),
+    /// Static verification found the kernel unsafe for a launch
+    /// configuration (out-of-bounds access, barrier divergence, local-memory
+    /// race, uninitialized read, or local-memory overflow) before any
+    /// simulation ran.
+    Verify {
+        /// The kernel (C function) name.
+        kernel: String,
+        /// Every finding the verifier produced for this launch.
+        findings: Vec<lift_oclsim::VerifyFinding>,
+    },
     /// Symbolic size arithmetic could not be evaluated.
     Arith(EvalArithError),
     /// The PPCG baseline compiler failed.
@@ -85,6 +95,18 @@ impl fmt::Display for LiftError {
             LiftError::View(e) => write!(f, "{e}"),
             LiftError::Codegen(e) => write!(f, "{e}"),
             LiftError::Sim(e) => write!(f, "simulation error: {e}"),
+            LiftError::Verify { kernel, findings } => {
+                write!(
+                    f,
+                    "static verification failed for kernel `{kernel}` ({} finding{})",
+                    findings.len(),
+                    if findings.len() == 1 { "" } else { "s" }
+                )?;
+                for x in findings {
+                    write!(f, ": {x}")?;
+                }
+                Ok(())
+            }
             LiftError::Arith(e) => write!(f, "arithmetic error: {e}"),
             LiftError::Ppcg(e) => write!(f, "{e}"),
             LiftError::UnknownBenchmark(n) => write!(f, "unknown benchmark `{n}`"),

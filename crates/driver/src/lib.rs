@@ -76,6 +76,8 @@
 //!   through the same machinery, which is how the harness regenerates the
 //!   paper's figures without a second orchestration path.
 
+#![forbid(unsafe_code)]
+
 mod cache;
 mod checkpoint;
 mod error;
@@ -85,6 +87,7 @@ mod tune;
 pub use cache::{CacheKey, CacheStats, KernelCache};
 pub use checkpoint::{CheckpointManager, CHECKPOINT_SCHEMA_VERSION};
 pub use error::LiftError;
+pub use lift_rewrite::strategy::{Tunable, Variant};
 pub use pipeline::{
     Budget, CompiledStencil, DeviceSession, Pipeline, TuneOptions, TuneOutcome, VariantSet,
 };

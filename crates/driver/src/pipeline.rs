@@ -655,6 +655,23 @@ impl CompiledStencil {
         &self.device
     }
 
+    /// Statically verifies the kernel for its launch configuration on its
+    /// device — array bounds, barrier divergence, local-memory races,
+    /// definite initialization and local-memory capacity (see
+    /// [`lift_oclsim::verify`]). An empty report is a proof within the
+    /// analysis' abstraction; results are memoised on the shared kernel.
+    ///
+    /// # Errors
+    ///
+    /// [`LiftError::Sim`] when the execution plan cannot be compiled.
+    pub fn verify(&self) -> Result<Vec<lift_oclsim::VerifyFinding>, LiftError> {
+        Ok(self
+            .kernel
+            .verify(self.launch, self.device.profile())?
+            .as_ref()
+            .clone())
+    }
+
     /// Executes the kernel on `inputs` (one buffer per non-output
     /// parameter, in order).
     ///

@@ -38,6 +38,8 @@ pub struct TunedVariant {
     pub local_mem: bool,
     /// Tuner evaluations spent.
     pub evaluations: usize,
+    /// Configurations rejected by the static verifier before simulation.
+    pub pruned: usize,
 }
 
 /// The outcome of exploring + tuning one program on one device.
@@ -308,6 +310,17 @@ fn evaluate_config(
             variant.name
         ))
     })?;
+    // Statically-unsafe configurations never reach the simulator: the
+    // verifier proves bounds, barrier convergence, race freedom and
+    // initialization per (kernel, launch) and the result is cached on the
+    // compiled plan.
+    let findings = kernel.verify(launch, ctx.device.profile())?;
+    if !findings.is_empty() {
+        return Err(LiftError::Verify {
+            kernel: findings[0].kernel.clone(),
+            findings: findings.as_ref().clone(),
+        });
+    }
     let out = ctx.device.run_planned(&kernel, &ctx.inputs, launch)?;
     if validate {
         if let Some(golden) = &ctx.golden {
@@ -458,6 +471,9 @@ fn tune_variant_batched(
     // The raw failure message as written to the checkpoint file; kept
     // separate from `first_failure` so repeated resumes never re-wrap it.
     let mut failure_msg: Option<String> = None;
+    // Configurations the static verifier rejected; resumes restore the
+    // count so interrupted and uninterrupted runs report the same total.
+    let mut pruned = 0usize;
     // A checkpointed search resumes from its recorded state instead of
     // starting over; a snapshot that does not belong to this run (other
     // space, seed or budget) is a hard, explained failure rather than a
@@ -482,6 +498,7 @@ fn tune_variant_batched(
                 };
             }
             failure_msg = entry.first_failure;
+            pruned = entry.pruned;
             first_failure = failure_msg
                 .clone()
                 .map(|m| LiftError::Checkpoint(format!("recorded before resume: {m}")));
@@ -520,6 +537,9 @@ fn tune_variant_batched(
             match score {
                 Ok(s) => search.tell(&cfg, Some(s)),
                 Err(e) => {
+                    if matches!(e, LiftError::Verify { .. }) {
+                        pruned += 1;
+                    }
                     if first_failure.is_none() {
                         failure_msg = Some(e.to_string());
                         first_failure = Some(e);
@@ -530,13 +550,14 @@ fn tune_variant_batched(
         }
         if let Some((c, key)) = ctx.checkpoint.as_ref().zip(ck_key.as_deref()) {
             c.mgr
-                .record(key, search.snapshot(), failure_msg.clone(), tells);
+                .record(key, search.snapshot(), failure_msg.clone(), pruned, tells);
         }
     }
     // Record the finished search too, so a later process replays the
     // result instead of re-tuning a completed variant.
     if let Some((c, key)) = ctx.checkpoint.as_ref().zip(ck_key.as_deref()) {
-        c.mgr.record(key, search.snapshot(), failure_msg.clone(), 0);
+        c.mgr
+            .record(key, search.snapshot(), failure_msg.clone(), pruned, 0);
     }
     let evaluations = search.evaluations();
     let result = search.into_result();
@@ -553,6 +574,7 @@ fn tune_variant_batched(
             tiled: variant.tiled,
             local_mem: variant.local_mem,
             evaluations,
+            pruned,
         })
     });
     VariantOutcome {
@@ -689,5 +711,6 @@ pub fn reference_baseline(
         tiled: false,
         local_mem: bench.name == "Hotspot2D",
         evaluations: 1,
+        pruned: 0,
     })
 }

@@ -15,8 +15,10 @@
 //! of all shards' rows — reassembled in cell order by `lift-harness
 //! merge` — is byte-identical to the single-process sweep.
 
-use lift_driver::{ppcg_baseline, reference_baseline, Budget, LiftError, Pipeline};
-use lift_oclsim::{DeviceProfile, VirtualDevice};
+use lift_driver::{
+    ppcg_baseline, reference_baseline, Budget, KernelCache, LiftError, Pipeline, Variant,
+};
+use lift_oclsim::{DeviceProfile, FindingKind, VirtualDevice};
 use lift_stencils::{by_name, fig7_names, fig8_names, suite, Benchmark};
 use lift_tuner::parallel_map;
 
@@ -366,6 +368,8 @@ pub struct BenchRow {
     pub tiled: bool,
     /// Whether it stages through local memory.
     pub local_mem: bool,
+    /// Configurations the static verifier rejected during tuning.
+    pub pruned: usize,
 }
 
 /// Runs one Table-1 benchmark in isolation (`lift-harness bench <name>`):
@@ -422,6 +426,7 @@ pub fn bench_shard(
                     winner: v.name == result.winner.name,
                     tiled: v.tiled,
                     local_mem: v.local_mem,
+                    pruned: v.pruned,
                 })
                 .collect(),
         ))
@@ -429,6 +434,135 @@ pub fn bench_shard(
     .into_iter()
     .collect::<Result<Vec<_>, LiftError>>()?;
     Ok(ShardRows { cells, groups })
+}
+
+/// One statically-verified (benchmark × device × variant × configuration)
+/// cell of the `lift-harness verify` sweep.
+#[derive(Debug, Clone)]
+pub struct VerifyRow {
+    /// Benchmark name.
+    pub bench: String,
+    /// Device name.
+    pub device: String,
+    /// Variant name.
+    pub variant: String,
+    /// The parameter assignment checked (tunables plus launch overrides).
+    pub config: Vec<(String, i64)>,
+    /// Every finding was a local-memory capacity overflow: the configuration
+    /// simply does not fit the device, exactly the class the tuner prunes
+    /// before simulation. Reported, but not a gate failure — the kernel
+    /// itself has no defect.
+    pub pruned: bool,
+    /// Rendered findings; empty means every property proved.
+    pub findings: Vec<String>,
+}
+
+/// Representative parameter assignments for one variant: each tunable's
+/// smallest and largest usable candidate, crossed with the default launch
+/// geometry and an explicit square-ish work-group.
+fn rep_configs(variant: &Variant) -> Vec<Vec<(String, i64)>> {
+    let mut tun_choices: Vec<Vec<(String, i64)>> = vec![Vec::new()];
+    for t in &variant.tunables {
+        let cands = t.candidates(64);
+        let (Some(lo), Some(hi)) = (cands.first(), cands.last()) else {
+            return Vec::new();
+        };
+        let mut next = Vec::new();
+        for base in &tun_choices {
+            for v in if lo == hi { vec![*lo] } else { vec![*lo, *hi] } {
+                let mut c = base.clone();
+                c.push((t.var().to_string(), v));
+                next.push(c);
+            }
+        }
+        // Cap the cross product; two tunables already give four corners.
+        next.truncate(8);
+        tun_choices = next;
+    }
+    let mut launches: Vec<Vec<(String, i64)>> = vec![Vec::new()];
+    let mut square = vec![("lx".to_string(), 4)];
+    if variant.dims >= 2 {
+        square.push(("ly".to_string(), 4));
+    }
+    if variant.dims >= 3 {
+        square.push(("lz".to_string(), 2));
+    }
+    launches.push(square);
+    let mut out = Vec::new();
+    for tc in &tun_choices {
+        for l in &launches {
+            let mut c = tc.clone();
+            c.extend(l.iter().cloned());
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// Statically verifies every Table-1 benchmark × device × variant under
+/// representative configurations (each tunable's smallest and largest
+/// usable candidate, crossed with two launch geometries) — no simulation
+/// runs. A configuration the pipeline
+/// itself rejects (inexpressible launch geometry, work-group over the
+/// device limit) is skipped: there is no kernel to verify.
+///
+/// # Errors
+///
+/// Any [`LiftError`] other than [`LiftError::InvalidConfig`] — a variant
+/// that fails to compile must fail the gate, not vanish from it.
+pub fn verify_sweep() -> Result<Vec<VerifyRow>, LiftError> {
+    verify_sweep_with(threads())
+}
+
+/// [`verify_sweep`] under an explicit thread budget.
+pub fn verify_sweep_with(thread_budget: usize) -> Result<Vec<VerifyRow>, LiftError> {
+    let mut work: Vec<(Benchmark, DeviceProfile)> = Vec::new();
+    for bench in suite() {
+        for profile in DeviceProfile::all() {
+            work.push((bench.clone(), profile));
+        }
+    }
+    let outer = thread_budget.min(work.len()).max(1);
+    let groups = parallel_map(outer, work, |(bench, profile)| {
+        let dev = VirtualDevice::new(profile);
+        let sizes = bench.size(false);
+        let variants = Pipeline::from_benchmark(&bench, &sizes)?.explore()?;
+        let cache = std::sync::Arc::new(KernelCache::new());
+        let mut rows = Vec::new();
+        for name in variants.names().iter().map(|n| n.to_string()) {
+            let variant = variants.get(&name).expect("name came from the set");
+            for cfg in rep_configs(variant) {
+                let params: Vec<(&str, i64)> = cfg.iter().map(|(n, v)| (n.as_str(), *v)).collect();
+                let compiled = variants
+                    .clone()
+                    .on(&dev)
+                    .with_cache(cache.clone())
+                    .with_config(&name, &params);
+                let stencil = match compiled {
+                    Ok(s) => s,
+                    Err(LiftError::InvalidConfig(_)) => continue,
+                    Err(e) => return Err(e),
+                };
+                let findings = stencil.verify()?;
+                let pruned = !findings.is_empty()
+                    && findings
+                        .iter()
+                        .all(|f| f.kind == FindingKind::LocalMemCapacity);
+                rows.push(VerifyRow {
+                    bench: bench.name.to_string(),
+                    device: dev.profile().name.to_string(),
+                    variant: name.clone(),
+                    config: cfg,
+                    pruned,
+                    findings: findings.iter().map(|f| f.to_string()).collect(),
+                });
+            }
+        }
+        Ok::<Vec<VerifyRow>, LiftError>(rows)
+    })
+    .into_iter()
+    .collect::<Result<Vec<_>, LiftError>>()?;
+    Ok(groups.into_iter().flatten().collect())
 }
 
 /// One row of Table 1.

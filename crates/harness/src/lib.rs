@@ -26,14 +26,16 @@
 //! single-process `--json` document, and `--spawn-workers n` does both in
 //! one command. See [`experiments::Shard`] and [`report::merge_parts`].
 
+#![forbid(unsafe_code)]
+
 pub mod experiments;
 pub mod perf;
 pub mod report;
 
 pub use experiments::{
     ablation, ablation_shard, ablation_with, bench_one, bench_shard, fig7, fig7_shard, fig7_with,
-    fig8, fig8_shard, fig8_with, table1, validate_shard, AblationRow, BenchRow, Fig7Row, Fig8Row,
-    Shard, ShardRows, Table1Row,
+    fig8, fig8_shard, fig8_with, table1, validate_shard, verify_sweep, verify_sweep_with,
+    AblationRow, BenchRow, Fig7Row, Fig8Row, Shard, ShardRows, Table1Row, VerifyRow,
 };
 pub use lift_driver::{BenchResult, LiftError, Pipeline, TunedVariant};
 pub use lift_tuner::parallel_map;

@@ -12,6 +12,8 @@
 //! lift-harness --threads 8 all    # parallel sweep (same results, sooner)
 //! lift-harness --list-benchmarks  # exact names, ranks and domain sizes
 //! lift-harness perf [--json]      # simulator perf report → BENCH_sim.json
+//! lift-harness verify [--json]    # static verifier over every kernel
+//!                                 # (non-zero exit on any finding)
 //!
 //! # Distributed & resumable tuning:
 //! lift-harness --checkpoint ck.json fig7         # resumable (kill + rerun)
@@ -34,14 +36,16 @@
 //! configuration for a benchmark — a broken compiler must fail CI), 2 for
 //! usage errors.
 
+#![forbid(unsafe_code)]
+
 use lift_harness::report::{
-    json_ablation, json_bench, json_fig7, json_fig8, json_str, json_table1, merge_parts,
-    partial_ablation, partial_bench, partial_fig7, partial_fig8, render_ablation, render_bench,
-    render_fig7, render_fig8, render_table1,
+    json_ablation, json_bench, json_fig7, json_fig8, json_str, json_table1, json_verify,
+    merge_parts, partial_ablation, partial_bench, partial_fig7, partial_fig8, render_ablation,
+    render_bench, render_fig7, render_fig8, render_table1, render_verify,
 };
 use lift_harness::{
     ablation_shard, ablation_with, bench_one, bench_shard, fig7_shard, fig7_with, fig8_shard,
-    fig8_with, parallel_map, table1, threads, validate_shard, LiftError, Shard,
+    fig8_with, parallel_map, table1, threads, validate_shard, verify_sweep, LiftError, Shard,
 };
 
 const ABLATION_BENCHES: [&str; 2] = ["Jacobi2D5pt", "Jacobi3D7pt"];
@@ -55,6 +59,10 @@ USAGE:
     lift-harness perf [--json]      (writes BENCH_sim.json: fig7 sweep wall
                                      time under both simulator engines +
                                      per-kernel launch microbenchmarks)
+    lift-harness verify [--json]    (static bounds/race/divergence/init
+                                     verification of every benchmark x
+                                     device x variant kernel; exits 1 on
+                                     any finding — the CI safety gate)
     lift-harness --list-benchmarks [--json]
 
 FLAGS:
@@ -407,6 +415,38 @@ fn main() {
         if let Err(e) = run_merge(files) {
             eprintln!("lift-harness: {e}");
             std::process::exit(1);
+        }
+        return;
+    }
+
+    if cmd == "verify" {
+        if positional.len() > 1 {
+            usage_error("verify takes no further arguments");
+        }
+        match verify_sweep() {
+            Ok(rows) => {
+                let findings: usize = rows
+                    .iter()
+                    .filter(|r| !r.pruned)
+                    .map(|r| r.findings.len())
+                    .sum();
+                print!(
+                    "{}",
+                    if json {
+                        json_verify(&rows)
+                    } else {
+                        render_verify(&rows)
+                    }
+                );
+                if findings > 0 {
+                    eprintln!("lift-harness: static verification found {findings} problem(s)");
+                    std::process::exit(1);
+                }
+            }
+            Err(e) => {
+                eprintln!("lift-harness: {e}");
+                std::process::exit(1);
+            }
         }
         return;
     }

@@ -12,7 +12,9 @@
 
 use lift_tuner::json::Value;
 
-use crate::experiments::{AblationRow, BenchRow, Fig7Row, Fig8Row, Shard, ShardRows, Table1Row};
+use crate::experiments::{
+    AblationRow, BenchRow, Fig7Row, Fig8Row, Shard, ShardRows, Table1Row, VerifyRow,
+};
 
 /// The version written into (and required from) every partial shard
 /// report.
@@ -129,7 +131,7 @@ fn bench_row_json(r: &BenchRow) -> String {
         .collect::<Vec<_>>()
         .join(", ");
     format!(
-        "{{\"bench\": {}, \"device\": {}, \"variant\": {}, \"time_s\": {}, \"gelems\": {}, \"config\": {{{config}}}, \"winner\": {}, \"tiled\": {}, \"local_mem\": {}}}",
+        "{{\"bench\": {}, \"device\": {}, \"variant\": {}, \"time_s\": {}, \"gelems\": {}, \"config\": {{{config}}}, \"winner\": {}, \"tiled\": {}, \"local_mem\": {}, \"pruned\": {}}}",
         json_str(&r.bench),
         json_str(&r.device),
         json_str(&r.variant),
@@ -137,13 +139,88 @@ fn bench_row_json(r: &BenchRow) -> String {
         json_f64(r.gelems),
         r.winner,
         r.tiled,
-        r.local_mem
+        r.local_mem,
+        r.pruned
     )
 }
 
 /// Renders a single-benchmark report as a JSON array.
 pub fn json_bench(rows: &[BenchRow]) -> String {
     json_array(rows.iter().map(bench_row_json))
+}
+
+fn verify_row_json(r: &VerifyRow) -> String {
+    let config = r
+        .config
+        .iter()
+        .map(|(n, v)| format!("{}: {v}", json_str(n)))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let findings = r
+        .findings
+        .iter()
+        .map(|f| json_str(f))
+        .collect::<Vec<_>>()
+        .join(", ");
+    format!(
+        "{{\"bench\": {}, \"device\": {}, \"variant\": {}, \"config\": {{{config}}}, \"pruned\": {}, \"findings\": [{findings}]}}",
+        json_str(&r.bench),
+        json_str(&r.device),
+        json_str(&r.variant),
+        r.pruned
+    )
+}
+
+/// Renders the static-verification sweep as a JSON array.
+pub fn json_verify(rows: &[VerifyRow]) -> String {
+    json_array(rows.iter().map(verify_row_json))
+}
+
+/// Renders the static-verification sweep: one line per kernel × launch,
+/// findings spelled out, and a final tally suitable for a CI gate.
+pub fn render_verify(rows: &[VerifyRow]) -> String {
+    let mut s = String::new();
+    s.push_str("Static verification: benchmarks x devices x variants x configs\n");
+    let mut key: Vec<(&str, &str)> = rows
+        .iter()
+        .map(|r| (r.bench.as_str(), r.device.as_str()))
+        .collect();
+    key.dedup();
+    for (bench, dev) in key {
+        s.push_str(&format!("\n  [{bench} on {dev}]\n"));
+        for r in rows.iter().filter(|r| r.bench == bench && r.device == dev) {
+            let config = r
+                .config
+                .iter()
+                .map(|(n, v)| format!("{n}={v}"))
+                .collect::<Vec<_>>()
+                .join(" ");
+            let status = if r.findings.is_empty() {
+                "ok".to_string()
+            } else if r.pruned {
+                "pruned (exceeds local memory)".to_string()
+            } else {
+                format!("{} finding(s)", r.findings.len())
+            };
+            s.push_str(&format!("  {:<21}{:<32} {status}\n", r.variant, config));
+            if !r.pruned {
+                for f in &r.findings {
+                    s.push_str(&format!("      !! {f}\n"));
+                }
+            }
+        }
+    }
+    let pruned = rows.iter().filter(|r| r.pruned).count();
+    let total: usize = rows
+        .iter()
+        .filter(|r| !r.pruned)
+        .map(|r| r.findings.len())
+        .sum();
+    s.push_str(&format!(
+        "\n{} kernel/launch pairs verified, {pruned} pruned (over-capacity), {total} finding(s)\n",
+        rows.len()
+    ));
+    s
 }
 
 /// Renders one shard's slice of a sweep as a partial report document (see
@@ -581,6 +658,50 @@ mod tests {
         let merged = merge_parts(&[("p.json".into(), partial_fig8((0, 1), &empty_ok))])
             .expect("empty cells merge");
         assert_eq!(merged, json_fig8(&[]));
+    }
+
+    #[test]
+    fn verify_report_separates_pruned_from_findings() {
+        let rows = vec![
+            VerifyRow {
+                bench: "Heat".into(),
+                device: "ARM Mali-T628".into(),
+                variant: "tiled-local".into(),
+                config: vec![("TS0".into(), 26), ("lx".into(), 4)],
+                pruned: true,
+                findings: vec!["needs 70304 bytes of local memory".into()],
+            },
+            VerifyRow {
+                bench: "Heat".into(),
+                device: "ARM Mali-T628".into(),
+                variant: "global".into(),
+                config: vec![("lx".into(), 4)],
+                pruned: false,
+                findings: vec!["out-of-bounds access".into()],
+            },
+            VerifyRow {
+                bench: "Heat".into(),
+                device: "ARM Mali-T628".into(),
+                variant: "coarsened".into(),
+                config: vec![("CF".into(), 2)],
+                pruned: false,
+                findings: Vec::new(),
+            },
+        ];
+        let text = render_verify(&rows);
+        // One pruned config, one genuine finding: the tally counts them
+        // apart, because only the finding may fail the CI gate.
+        assert!(
+            text.contains("1 pruned (over-capacity), 1 finding(s)"),
+            "{text}"
+        );
+        assert!(text.contains("pruned (exceeds local memory)"), "{text}");
+        assert!(text.contains("!! out-of-bounds access"), "{text}");
+        // Pruned rows never print their findings as gate problems.
+        assert!(!text.contains("!! needs 70304"), "{text}");
+        let json = json_verify(&rows);
+        assert!(json.contains("\"pruned\": true"), "{json}");
+        assert!(json.contains("\"pruned\": false"), "{json}");
     }
 
     #[test]

@@ -48,11 +48,14 @@
 //! root) and a CI byte-diff of whole experiment sweeps hold the two
 //! engines in lock-step.
 
+#![forbid(unsafe_code)]
+
 pub mod device;
 pub mod exec;
 pub mod perf;
 pub mod plan;
 pub mod runtime;
+pub mod verify;
 
 pub use device::DeviceProfile;
 pub use exec::SimError;
@@ -61,3 +64,4 @@ pub use plan::{Plan, PlannedKernel};
 pub use runtime::{
     BufferData, IteratedOutput, LaunchConfig, Rotation, RunOutput, SimEngine, VirtualDevice,
 };
+pub use verify::{FindingKind, VerifyFinding};

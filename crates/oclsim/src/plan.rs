@@ -41,17 +41,18 @@
 //! [`KernelStats`]: crate::perf::KernelStats
 
 use std::collections::HashMap;
-use std::sync::{Arc, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock};
 
 use lift_codegen::clike::{BinOp, CExpr, CStmt, CType, Kernel, UnOp, VarRef, WorkItemFn};
 use lift_core::scalar::ScalarKind;
 use lift_core::userfun::UserFun;
 
 use crate::exec::{call_cost, SimError};
+use crate::verify::VerifyFinding;
 
 /// Where a scalar variable's per-lane storage lives: a raw `i64` row (for
 /// slots whose every write is provably an integer) or a tagged-value row.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) enum Row {
     /// Row index into the `i64` register arena.
     I(u32),
@@ -62,7 +63,7 @@ pub(crate) enum Row {
 /// Where a buffer access resolves to, decided at plan-compile time. Local
 /// and private buffers carry their arena offset and length; the `F`/`V`
 /// split mirrors the storage typing (see the module docs).
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) enum BufSlot {
     /// Global-memory parameter `slot`; `name` indexes [`Plan::buf_names`].
     Global { slot: u16, name: u16 },
@@ -78,7 +79,7 @@ pub(crate) enum BufSlot {
 }
 
 /// One stack-machine expression operation.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub(crate) enum EOp {
     /// Push an integer literal.
     I(i64),
@@ -347,7 +348,14 @@ impl Plan {
 pub struct PlannedKernel {
     kernel: Arc<Kernel>,
     plan: OnceLock<Arc<Plan>>,
+    /// Static-verification reports, memoised per (launch, local-memory
+    /// budget) — the two inputs [`crate::verify`] depends on.
+    verified: Mutex<VerifyCache>,
 }
+
+/// Memoised verification results, keyed by the launch geometry and the
+/// device's per-CU local-memory budget.
+type VerifyCache = HashMap<(crate::runtime::LaunchConfig, usize), Arc<Vec<VerifyFinding>>>;
 
 impl PlannedKernel {
     /// Wraps a compiled kernel; the plan is built on first use (or
@@ -361,6 +369,7 @@ impl PlannedKernel {
         PlannedKernel {
             kernel,
             plan: OnceLock::new(),
+            verified: Mutex::new(HashMap::new()),
         }
     }
 
@@ -381,6 +390,37 @@ impl PlannedKernel {
         }
         let p = Arc::new(Plan::compile(&self.kernel)?);
         Ok(self.plan.get_or_init(|| p).clone())
+    }
+
+    /// Statically verifies the kernel for one launch configuration on one
+    /// device (see [`crate::verify`]); results are memoised, so tuners
+    /// probing thousands of launches over a handful of kernels pay for
+    /// each analysis once.
+    ///
+    /// # Errors
+    ///
+    /// As [`PlannedKernel::plan`] — verification needs the compiled plan.
+    pub fn verify(
+        &self,
+        cfg: crate::runtime::LaunchConfig,
+        profile: &crate::device::DeviceProfile,
+    ) -> Result<Arc<Vec<VerifyFinding>>, SimError> {
+        let key = (cfg, profile.lmem_bytes_per_cu);
+        if let Some(hit) = self.verified.lock().expect("verify cache").get(&key) {
+            return Ok(hit.clone());
+        }
+        let plan = self.plan()?;
+        let findings = Arc::new(crate::verify::verify_kernel(
+            &self.kernel,
+            &plan,
+            cfg,
+            profile,
+        ));
+        self.verified
+            .lock()
+            .expect("verify cache")
+            .insert(key, findings.clone());
+        Ok(findings)
     }
 }
 

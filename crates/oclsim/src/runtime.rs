@@ -111,7 +111,7 @@ impl From<Vec<i32>> for BufferData {
 
 /// An NDRange launch configuration (global and local sizes per dimension;
 /// unused dimensions are 1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct LaunchConfig {
     /// Global work size per dimension.
     pub global: [usize; 3],

@@ -1,0 +1,288 @@
+//! Adversarial kernels for the static verifier: four hand-built plans,
+//! each carrying exactly one of the defect classes the verifier claims to
+//! catch. The benchmark suite proves the verifier quiet on correct code
+//! (`tests/sim_differential.rs`, `lift-harness verify`); this file proves
+//! it *loud* on broken code — a verifier that never fires is vacuous.
+
+use lift_codegen::clike::{
+    AddressSpace, BinOp, CExpr, CStmt, CType, Kernel, KernelParam, LocalBuffer, VarRef, WorkItemFn,
+};
+use lift_oclsim::{DeviceProfile, FindingKind, LaunchConfig, PlannedKernel, VerifyFinding};
+
+const N: usize = 64;
+
+fn gid() -> CExpr {
+    CExpr::WorkItem(WorkItemFn::GlobalId, 0)
+}
+
+fn lid() -> CExpr {
+    CExpr::WorkItem(WorkItemFn::LocalId, 0)
+}
+
+/// A one-input, one-output kernel around `body`.
+fn kernel_1in(
+    name: &str,
+    input: &VarRef,
+    output: &VarRef,
+    locals: Vec<LocalBuffer>,
+    body: Vec<CStmt>,
+) -> Kernel {
+    Kernel {
+        name: name.to_string(),
+        params: vec![
+            KernelParam {
+                var: input.clone(),
+                elem: CType::Float,
+                len: N,
+                is_output: false,
+            },
+            KernelParam {
+                var: output.clone(),
+                elem: CType::Float,
+                len: N,
+                is_output: true,
+            },
+        ],
+        locals,
+        body,
+        user_funs: Vec::new(),
+    }
+}
+
+fn verify(k: Kernel, cfg: LaunchConfig) -> Vec<VerifyFinding> {
+    PlannedKernel::new(k)
+        .verify(cfg, &DeviceProfile::k20c())
+        .expect("plan compiles")
+        .as_ref()
+        .clone()
+}
+
+fn load(buf: &VarRef, space: AddressSpace, idx: CExpr) -> CExpr {
+    CExpr::Load {
+        buf: buf.clone(),
+        space,
+        idx: Box::new(idx),
+    }
+}
+
+/// `out[gid] = in[gid + 1]` over the full buffer: the top lane reads one
+/// element past the end — the classic missing-halo-clamp bug.
+#[test]
+fn out_of_bounds_halo_read_is_caught() {
+    let input = VarRef::fresh("in");
+    let output = VarRef::fresh("out");
+    let k = kernel_1in(
+        "oob_halo",
+        &input,
+        &output,
+        Vec::new(),
+        vec![CStmt::Store {
+            buf: output.clone(),
+            space: AddressSpace::Global,
+            idx: gid(),
+            value: load(
+                &input,
+                AddressSpace::Global,
+                CExpr::add(gid(), CExpr::Int(1)),
+            ),
+        }],
+    );
+    let findings = verify(k, LaunchConfig::d1(N, 16));
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.kind == FindingKind::OutOfBounds && f.buffer.as_deref() == Some("in")),
+        "expected an out-of-bounds finding on `in`, got {findings:?}"
+    );
+    let f = findings
+        .iter()
+        .find(|f| f.kind == FindingKind::OutOfBounds)
+        .unwrap();
+    assert!(
+        !f.witness.is_empty(),
+        "the finding must carry interval evidence"
+    );
+}
+
+/// A barrier reached only by lanes with `lid < 2`: the rest of the
+/// work-group never arrives, which deadlocks real OpenCL devices.
+#[test]
+fn divergent_barrier_is_caught() {
+    let input = VarRef::fresh("in");
+    let output = VarRef::fresh("out");
+    let k = kernel_1in(
+        "divergent_barrier",
+        &input,
+        &output,
+        Vec::new(),
+        vec![
+            CStmt::If {
+                cond: CExpr::Bin(BinOp::Lt, Box::new(lid()), Box::new(CExpr::Int(2))),
+                then_: vec![CStmt::Barrier {
+                    local: true,
+                    global: false,
+                }],
+                else_: Vec::new(),
+            },
+            CStmt::Store {
+                buf: output.clone(),
+                space: AddressSpace::Global,
+                idx: gid(),
+                value: load(&input, AddressSpace::Global, gid()),
+            },
+        ],
+    );
+    let findings = verify(k, LaunchConfig::d1(N, 16));
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.kind == FindingKind::BarrierDivergence),
+        "expected a barrier-divergence finding, got {findings:?}"
+    );
+}
+
+/// Every lane of the group writes `tile[0]`: a write-write race on local
+/// memory with no barrier separating the contenders.
+#[test]
+fn racy_local_write_is_caught() {
+    let tile = VarRef::fresh("tile");
+    let input = VarRef::fresh("in");
+    let output = VarRef::fresh("out");
+    let k = kernel_1in(
+        "racy_local",
+        &input,
+        &output,
+        vec![LocalBuffer {
+            var: tile.clone(),
+            elem: CType::Float,
+            len: 16,
+        }],
+        vec![
+            CStmt::Store {
+                buf: tile.clone(),
+                space: AddressSpace::Local,
+                idx: CExpr::Int(0),
+                value: load(&input, AddressSpace::Global, gid()),
+            },
+            CStmt::Barrier {
+                local: true,
+                global: false,
+            },
+            CStmt::Store {
+                buf: output.clone(),
+                space: AddressSpace::Global,
+                idx: gid(),
+                value: load(&tile, AddressSpace::Local, CExpr::Int(0)),
+            },
+        ],
+    );
+    let findings = verify(k, LaunchConfig::d1(N, 16));
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.kind == FindingKind::LocalRace && f.buffer.as_deref() == Some("tile")),
+        "expected a local-memory race finding on `tile`, got {findings:?}"
+    );
+}
+
+/// `float acc; out[gid] = acc;` — a read of a register no path ever
+/// wrote. Real devices return garbage; the verifier must refuse.
+#[test]
+fn uninitialized_register_read_is_caught() {
+    let acc = VarRef::fresh("acc");
+    let input = VarRef::fresh("in");
+    let output = VarRef::fresh("out");
+    let _ = &input;
+    let k = kernel_1in(
+        "uninit_reg",
+        &input,
+        &output,
+        Vec::new(),
+        vec![
+            CStmt::DeclScalar {
+                var: acc.clone(),
+                ty: CType::Float,
+                init: None,
+            },
+            CStmt::Store {
+                buf: output.clone(),
+                space: AddressSpace::Global,
+                idx: gid(),
+                value: CExpr::Var(acc),
+            },
+        ],
+    );
+    let findings = verify(k, LaunchConfig::d1(N, 16));
+    assert!(
+        findings.iter().any(|f| f.kind == FindingKind::UninitRead),
+        "expected an uninitialized-read finding, got {findings:?}"
+    );
+}
+
+/// The same kernels with the defect repaired verify clean — the findings
+/// above are the defects, not background noise.
+#[test]
+fn repaired_kernels_verify_clean() {
+    // Clamped halo read: in[min(gid + 1, N - 1)].
+    let input = VarRef::fresh("in");
+    let output = VarRef::fresh("out");
+    let k = kernel_1in(
+        "clamped_halo",
+        &input,
+        &output,
+        Vec::new(),
+        vec![CStmt::Store {
+            buf: output.clone(),
+            space: AddressSpace::Global,
+            idx: gid(),
+            value: load(
+                &input,
+                AddressSpace::Global,
+                CExpr::min(CExpr::add(gid(), CExpr::Int(1)), CExpr::Int(N as i64 - 1)),
+            ),
+        }],
+    );
+    let findings = verify(k, LaunchConfig::d1(N, 16));
+    assert!(
+        findings.is_empty(),
+        "clamped kernel must verify clean, got {findings:?}"
+    );
+
+    // Per-lane local staging: tile[lid] instead of tile[0].
+    let tile = VarRef::fresh("tile");
+    let input = VarRef::fresh("in");
+    let output = VarRef::fresh("out");
+    let k = kernel_1in(
+        "staged_local",
+        &input,
+        &output,
+        vec![LocalBuffer {
+            var: tile.clone(),
+            elem: CType::Float,
+            len: 16,
+        }],
+        vec![
+            CStmt::Store {
+                buf: tile.clone(),
+                space: AddressSpace::Local,
+                idx: lid(),
+                value: load(&input, AddressSpace::Global, gid()),
+            },
+            CStmt::Barrier {
+                local: true,
+                global: false,
+            },
+            CStmt::Store {
+                buf: output.clone(),
+                space: AddressSpace::Global,
+                idx: gid(),
+                value: load(&tile, AddressSpace::Local, lid()),
+            },
+        ],
+    );
+    let findings = verify(k, LaunchConfig::d1(N, 16));
+    assert!(
+        findings.is_empty(),
+        "staged kernel must verify clean, got {findings:?}"
+    );
+}

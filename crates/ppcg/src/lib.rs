@@ -22,6 +22,8 @@
 //! There is no exploration: where Lift *derives* untiled alternatives by
 //! rewriting, PPCG cannot.
 
+#![forbid(unsafe_code)]
+
 use lift_core::expr::FunDecl;
 use lift_core::pattern::MapKind;
 use lift_core::typecheck::typecheck_fun;

@@ -29,6 +29,8 @@
 //! Every rule is typed-checked-preserving by construction and validated
 //! against the reference evaluator in this crate's tests.
 
+#![forbid(unsafe_code)]
+
 pub mod lowering;
 pub mod rules;
 pub mod stencil;

@@ -16,6 +16,8 @@
 //! big-GPU profiles in Figure 7 (§7.1). Set `LIFT_FULL_SIZES=1` to use the
 //! paper's original grids (slow).
 
+#![forbid(unsafe_code)]
+
 pub mod bench2d;
 pub mod bench3d;
 pub mod inputs;

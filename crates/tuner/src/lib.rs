@@ -44,6 +44,8 @@
 //! assert_eq!(best.values, vec![12, 4]);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod json;
 pub mod pool;
 pub mod rng;

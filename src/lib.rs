@@ -49,6 +49,8 @@
 //! * [`lift_driver`] — the staged pipeline, unified errors, kernel cache,
 //! * [`lift_harness`] — drivers regenerating Figures 7 and 8.
 
+#![forbid(unsafe_code)]
+
 pub use lift_arith;
 pub use lift_codegen;
 pub use lift_core;

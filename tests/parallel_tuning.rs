@@ -109,6 +109,40 @@ fn tiny_device_is_deterministic_across_threads_too() {
     assert_eq!(run(1), run(4));
 }
 
+/// Configurations the static verifier rejects are *pruned*, not silently
+/// swallowed: a device with barely any local memory forces the tiled
+/// variants' candidates through verify-rejection, and the per-variant
+/// pruned counter records every one.
+#[test]
+fn statically_invalid_configs_are_counted_as_pruned() {
+    let scarce = DeviceProfile {
+        name: "Scarce-LocalMem",
+        lmem_bytes_per_cu: 256,
+        ..DeviceProfile::k20c()
+    };
+    let dev = VirtualDevice::new(scarce);
+    let report = Pipeline::for_benchmark("Jacobi2D5pt", &[18, 18])
+        .expect("benchmark exists")
+        .explore()
+        .expect("explores")
+        .on(&dev)
+        .with_cache(Arc::new(KernelCache::new()))
+        .tune_full(TuneOptions::evaluations(8).with_seed(5))
+        .expect("the untiled variants still tune")
+        .report;
+    let pruned: usize = report.all.iter().map(|v| v.pruned).sum();
+    assert!(
+        pruned > 0,
+        "256 bytes of local memory must verify-prune tiled candidates; \
+         variants: {:?}",
+        report
+            .all
+            .iter()
+            .map(|v| (v.name.as_str(), v.pruned))
+            .collect::<Vec<_>>()
+    );
+}
+
 /// When nothing tunes, the error must carry the cause instead of a bare
 /// "no valid configuration": here every PPCG candidate needs local memory
 /// the device does not have, and the source chain says so.
@@ -136,8 +170,8 @@ fn no_valid_configuration_explains_itself() {
         "the first failure per variant must be recorded"
     );
     assert!(
-        matches!(*failures[0].1, LiftError::Sim(_)),
-        "the cause is the simulator's local-memory rejection: {}",
+        matches!(*failures[0].1, LiftError::Verify { .. }),
+        "the cause is the static verifier's local-memory rejection: {}",
         failures[0].1
     );
     let source = std::error::Error::source(&err).expect("source chain reaches the cause");

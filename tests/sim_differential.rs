@@ -101,6 +101,14 @@ fn every_benchmark_variant_device_is_bit_identical_across_engines() {
                 let label = format!("{}/{name} on {}", bench.name, dev.profile().name);
                 match (tree, plan) {
                     (Ok(t), Ok(p)) => {
+                        // Anything that runs clean must also *prove* clean:
+                        // the static verifier may never cry wolf on an
+                        // executed benchmark kernel.
+                        let findings = compiled.verify().expect("verifier runs");
+                        assert!(
+                            findings.is_empty(),
+                            "verifier findings on executed kernel {label}: {findings:?}"
+                        );
                         assert_eq!(t.output, p.output, "outputs diverge for {label}");
                         assert_eq!(t.stats, p.stats, "stats diverge for {label}");
                         assert_eq!(
