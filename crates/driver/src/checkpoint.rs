@@ -21,11 +21,13 @@
 //!
 //! ```json
 //! {
-//!   "schema_version": 1,
+//!   "schema_version": 2,
 //!   "entries": {
 //!     "Jacobi2D5pt@Nvidia Tesla K20c@18x18#tiled-local": {
 //!       "state": { ... },          // SearchState JSON (its own schema)
-//!       "first_failure": null      // or the recorded failure message
+//!       "first_failure": null,     // or the recorded failure message
+//!       "pruned_verify": 0,        // configs the static verifier rejected
+//!       "pruned_model": 0          // configs the cost model pruned
 //!     }
 //!   }
 //! }
@@ -43,7 +45,10 @@ use lift_tuner::SearchState;
 use crate::error::LiftError;
 
 /// The version written into (and required from) every checkpoint file.
-pub const CHECKPOINT_SCHEMA_VERSION: u64 = 1;
+/// Version 2 split the verifier/cost-model prune counters; version-1 files
+/// are rejected with a clear [`LiftError::Checkpoint`] (delete the file or
+/// re-run with the build that wrote it).
+pub const CHECKPOINT_SCHEMA_VERSION: u64 = 2;
 
 /// One checkpointed search: its engine state plus the first failure the
 /// driver recorded for it (kept so a resumed all-variants-failed run can
@@ -53,7 +58,9 @@ pub(crate) struct CheckpointEntry {
     pub state: SearchState,
     pub first_failure: Option<String>,
     /// Configurations the static verifier rejected before simulation.
-    pub pruned: usize,
+    pub pruned_verify: usize,
+    /// Configurations the static cost model pruned before simulation.
+    pub pruned_model: usize,
 }
 
 struct Inner {
@@ -140,7 +147,8 @@ impl CheckpointManager {
         key: &str,
         state: SearchState,
         first_failure: Option<String>,
-        pruned: usize,
+        pruned_verify: usize,
+        pruned_model: usize,
         tells_delta: usize,
     ) {
         let mut inner = self.inner.lock().expect("checkpoint lock poisoned");
@@ -149,7 +157,8 @@ impl CheckpointManager {
             CheckpointEntry {
                 state,
                 first_failure,
-                pruned,
+                pruned_verify,
+                pruned_model,
             },
         );
         inner.tells_since_write += tells_delta;
@@ -234,19 +243,21 @@ fn parse_file(text: &str) -> Result<BTreeMap<String, CheckpointEntry>, String> {
                     .to_string(),
             ),
         };
-        // Absent in files written before the static verifier existed.
-        let pruned = match entry.get("pruned") {
-            None | Some(Value::Null) => 0,
-            Some(Value::UInt(n)) => *n as usize,
-            Some(Value::Int(n)) => (*n).max(0) as usize,
-            Some(_) => return Err(format!("entry `{key}`: `pruned` is not an integer")),
+        let count = |field: &str| -> Result<usize, String> {
+            match entry.get(field) {
+                None | Some(Value::Null) => Ok(0),
+                Some(Value::UInt(n)) => Ok(*n as usize),
+                Some(Value::Int(n)) => Ok((*n).max(0) as usize),
+                Some(_) => Err(format!("entry `{key}`: `{field}` is not an integer")),
+            }
         };
         entries.insert(
             key.clone(),
             CheckpointEntry {
                 state,
                 first_failure,
-                pruned,
+                pruned_verify: count("pruned_verify")?,
+                pruned_model: count("pruned_model")?,
             },
         );
     }
@@ -269,7 +280,14 @@ fn render_file(entries: &BTreeMap<String, CheckpointEntry>) -> String {
                             .map(|m| Value::Str(m.clone()))
                             .unwrap_or(Value::Null),
                     ),
-                    ("pruned".into(), Value::UInt(entry.pruned as u64)),
+                    (
+                        "pruned_verify".into(),
+                        Value::UInt(entry.pruned_verify as u64),
+                    ),
+                    (
+                        "pruned_model".into(),
+                        Value::UInt(entry.pruned_model as u64),
+                    ),
                 ]),
             )
         })
@@ -321,7 +339,8 @@ mod tests {
             CheckpointEntry {
                 state: state(),
                 first_failure: Some("local memory exhausted".into()),
-                pruned: 3,
+                pruned_verify: 3,
+                pruned_model: 7,
             },
         );
         entries.insert(
@@ -329,7 +348,8 @@ mod tests {
             CheckpointEntry {
                 state: state(),
                 first_failure: None,
-                pruned: 0,
+                pruned_verify: 0,
+                pruned_model: 0,
             },
         );
         let text = render_file(&entries);
@@ -344,15 +364,22 @@ mod tests {
             Some("local memory exhausted")
         );
         assert_eq!(back["B@dev@8x8#tiled"].first_failure, None);
-        assert_eq!(back["B@dev@8x8#global"].pruned, 3);
-        assert_eq!(back["B@dev@8x8#tiled"].pruned, 0);
+        assert_eq!(back["B@dev@8x8#global"].pruned_verify, 3);
+        assert_eq!(back["B@dev@8x8#global"].pruned_model, 7);
+        assert_eq!(back["B@dev@8x8#tiled"].pruned_verify, 0);
+        assert_eq!(back["B@dev@8x8#tiled"].pruned_model, 0);
     }
 
     #[test]
     fn version_mismatch_is_a_clear_error() {
         let err = parse_file(r#"{"schema_version": 9, "entries": {}}"#).unwrap_err();
         assert!(err.contains("schema_version 9"), "{err}");
-        assert!(err.contains("version 1"), "{err}");
+        assert!(err.contains("version 2"), "{err}");
+        // A version-1 file (pre cost-model prune split) is rejected the
+        // same way: a clear error, never a panic or silent zeroing.
+        let err = parse_file(r#"{"schema_version": 1, "entries": {}}"#).unwrap_err();
+        assert!(err.contains("schema_version 1"), "{err}");
+        assert!(err.contains("version 2"), "{err}");
         let err = parse_file(r#"{"entries": {}}"#).unwrap_err();
         assert!(err.contains("<missing>"), "{err}");
         assert!(parse_file("not json at all").is_err());
@@ -366,7 +393,7 @@ mod tests {
         let a = CheckpointManager::at(&path, 1).unwrap();
         let b = CheckpointManager::at(&path, 999).unwrap();
         assert!(Arc::ptr_eq(&a, &b), "one manager per path");
-        a.record("k", state(), None, 0, 5);
+        a.record("k", state(), None, 0, 0, 5);
         assert!(path.exists(), "cadence 1 writes on the first record");
         assert!(b.lookup("k").is_some(), "shared state visible through both");
         b.flush().unwrap();

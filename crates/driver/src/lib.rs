@@ -91,7 +91,7 @@ pub use lift_rewrite::strategy::{Tunable, Variant};
 pub use pipeline::{
     Budget, CompiledStencil, DeviceSession, Pipeline, TuneOptions, TuneOutcome, VariantSet,
 };
-pub use tune::{ppcg_baseline, reference_baseline, BenchResult, TunedVariant};
+pub use tune::{ppcg_baseline, reference_baseline, BenchResult, CostModel, TunedVariant};
 
 #[cfg(test)]
 mod tests {

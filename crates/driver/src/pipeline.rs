@@ -54,6 +54,13 @@ pub struct TuneOptions {
     /// Applied tells between checkpoint writes. `0` (the default) defers
     /// to `LIFT_CHECKPOINT_EVERY`, falling back to 16.
     pub checkpoint_every: usize,
+    /// Cost-model guidance setting, as the raw `LIFT_COST_PRUNE` syntax:
+    /// `"off"`/`"0"` disables pruning and warm-start, a positive float
+    /// sets the domination threshold `k`. `None` (the default) defers to
+    /// the `LIFT_COST_PRUNE` environment variable, falling back to
+    /// enabled with `k = 1.0` (the provably-safe setting). See
+    /// [`CostModel`](crate::CostModel).
+    pub cost_prune: Option<String>,
 }
 
 /// The historical name of [`TuneOptions`] (PR 1 introduced it as the
@@ -68,6 +75,7 @@ impl Default for TuneOptions {
             threads: 0,          // LIFT_TUNE_THREADS, else sequential
             checkpoint: None,    // LIFT_CHECKPOINT, else no checkpointing
             checkpoint_every: 0, // LIFT_CHECKPOINT_EVERY, else 16
+            cost_prune: None,    // LIFT_COST_PRUNE, else on with k = 1.0
         }
     }
 }
@@ -131,6 +139,25 @@ impl TuneOptions {
             .ok()
             .filter(|p| !p.is_empty())
             .map(std::path::PathBuf::from)
+    }
+
+    /// Sets the cost-model guidance explicitly (`"off"`, `"0"`, or a
+    /// positive float for the threshold `k`), overriding
+    /// `LIFT_COST_PRUNE`.
+    pub fn with_cost_prune(mut self, setting: impl Into<String>) -> Self {
+        self.cost_prune = Some(setting.into());
+        self
+    }
+
+    /// The effective cost-model setting: the explicit setting, else
+    /// `LIFT_COST_PRUNE`, else enabled with `k = 1.0`.
+    pub fn resolved_cost_prune(&self) -> crate::tune::CostModel {
+        match &self.cost_prune {
+            Some(s) => crate::tune::CostModel::from_setting(Some(s)),
+            None => crate::tune::CostModel::from_setting(
+                std::env::var("LIFT_COST_PRUNE").ok().as_deref(),
+            ),
+        }
     }
 
     /// The effective checkpoint cadence: the explicit setting, else
@@ -474,6 +501,7 @@ impl DeviceSession {
                         &out_sizes,
                     )
                 }),
+                cost: budget.resolved_cost_prune(),
             };
             tune_variants(&ctx, self.set.variants())?
         };
@@ -670,6 +698,23 @@ impl CompiledStencil {
             .verify(self.launch, self.device.profile())?
             .as_ref()
             .clone())
+    }
+
+    /// Statically predicts the kernel's modeled runtime for its launch
+    /// configuration on its device, without executing a lane (see
+    /// [`lift_oclsim::cost`]). For kernels whose control flow is
+    /// launch-determined — every Table-1 benchmark — the estimate equals
+    /// the simulated [`RunOutput::time_s`] bit-for-bit; data-dependent
+    /// kernels get a marked (`exact = false`) upper bound. Results are
+    /// memoised on the shared kernel.
+    ///
+    /// # Errors
+    ///
+    /// [`LiftError::Sim`] when the plan cannot be compiled, the launch is
+    /// invalid, the replay detects a certain fault, or a loop bound is
+    /// data-dependent and no estimate exists.
+    pub fn estimate(&self) -> Result<Arc<lift_oclsim::CostEstimate>, LiftError> {
+        Ok(self.kernel.estimate(self.launch, self.device.profile())?)
     }
 
     /// Executes the kernel on `inputs` (one buffer per non-output

@@ -38,8 +38,18 @@ pub struct TunedVariant {
     pub local_mem: bool,
     /// Tuner evaluations spent.
     pub evaluations: usize,
+    /// Successful simulator evaluations applied before the winning
+    /// configuration was first measured (1 = the warm-started first
+    /// proposal already won; 0 = nothing succeeded).
+    pub evals_to_best: usize,
     /// Configurations rejected by the static verifier before simulation.
-    pub pruned: usize,
+    pub pruned_verify: usize,
+    /// Configurations dropped by the static cost model before simulation
+    /// (estimate provably dominated by the incumbent's).
+    pub pruned_model: usize,
+    /// Successful simulator executions — evaluations minus both prune
+    /// classes minus configurations that failed before producing a score.
+    pub sims: usize,
 }
 
 /// The outcome of exploring + tuning one program on one device.
@@ -79,6 +89,69 @@ pub(crate) struct TuneContext<'a> {
     /// checkpointing). Restoring never changes results either — it only
     /// skips re-evaluating what a previous process already measured.
     pub checkpoint: Option<CellCheckpoint>,
+    /// Cost-model guidance (pruning + warm-start); see [`CostModel`].
+    pub cost: CostModel,
+}
+
+/// How the static cost model steers a search (see `lift_oclsim::cost`):
+/// when enabled, the initial proposal block is reordered so the model's
+/// top-ranked configurations are simulated first, and any configuration
+/// whose *exact* estimate matches or exceeds `k ×` the incumbent's exact
+/// estimate is dropped without simulating (told as failed, counted in
+/// `pruned_model`). Estimates are pure functions of
+/// (plan, launch, device), and prune decisions are made on fixed-size
+/// proposal windows, so results stay bit-identical across thread counts
+/// and shards. Resolved once from `LIFT_COST_PRUNE` (see
+/// [`crate::TuneOptions::resolved_cost_prune`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    /// `false` (`LIFT_COST_PRUNE=off`) restores pure-PRNG proposal order
+    /// and simulates every proposal, byte-reproducing unguided reports.
+    pub enabled: bool,
+    /// The domination threshold: prune when
+    /// `estimate(candidate) >= k × estimate(incumbent)`. `k = 1.0` (the
+    /// default) is provably safe on exactly-estimated kernels — a worse
+    /// candidate can never have beaten the incumbent, and an exactly-tied
+    /// one loses the (score, proposal-index) tie-break to the incumbent,
+    /// which was told first; `k < 1` prunes aggressively and may change
+    /// winners.
+    pub k: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            enabled: true,
+            k: 1.0,
+        }
+    }
+}
+
+impl CostModel {
+    /// The disabled setting (`LIFT_COST_PRUNE=off`).
+    pub fn off() -> Self {
+        CostModel {
+            enabled: false,
+            k: 1.0,
+        }
+    }
+
+    /// Parses a `LIFT_COST_PRUNE` value: `off`/`0` disables, a positive
+    /// float sets `k`, anything else (or `None`) is the default.
+    pub fn from_setting(setting: Option<&str>) -> Self {
+        match setting.map(|s| s.trim().to_ascii_lowercase()) {
+            Some(v) if v == "off" => CostModel::off(),
+            Some(v) => match v.parse::<f64>() {
+                Ok(k) if k > 0.0 && k.is_finite() => CostModel { enabled: true, k },
+                // `0` (in any spelling) is the numeric way to say "off".
+                Ok(0.0) => CostModel::off(),
+                // Junk must not silently disable the safety-neutral
+                // default, nor invent a threshold.
+                _ => CostModel::default(),
+            },
+            None => CostModel::default(),
+        }
+    }
 }
 
 /// The `LIFT_TUNE_THREADS` fallback used when no explicit thread count was
@@ -335,6 +408,46 @@ fn evaluate_config(
     Ok(out.time_s)
 }
 
+/// The static model's predicted time for one configuration, with whether
+/// the prediction is exact (see `lift_oclsim::cost`). `None` when no
+/// estimate exists: invalid tunables, no launch, compile failure, or the
+/// kernel's control flow defeats the analyzer. Pure in (cfg, device) —
+/// the estimate itself is memoised on the cached compiled plan, so a
+/// config is analyzed once no matter how often the search consults it.
+fn model_time(
+    ctx: &TuneContext<'_>,
+    variant: &Variant,
+    variant_fp: u64,
+    cfg: &[(String, i64)],
+) -> Option<(f64, bool)> {
+    let tun_values: Vec<(String, i64)> = variant
+        .tunables
+        .iter()
+        .filter_map(|t| value_of(cfg, t.var()).map(|v| (t.var().to_string(), v)))
+        .collect();
+    if tun_values.iter().any(|(n, v)| {
+        variant
+            .tunables
+            .iter()
+            .find(|t| t.var() == n)
+            .is_some_and(|t| !t.is_valid(*v))
+    }) {
+        return None;
+    }
+    let kernel = compile_bound(
+        ctx.cache,
+        ctx.device,
+        &ctx.name,
+        variant,
+        variant_fp,
+        &tun_values,
+    )
+    .ok()?;
+    let launch = launch_for(variant, &ctx.out_sizes, cfg)?;
+    let est = kernel.estimate(launch, ctx.device.profile()).ok()?;
+    Some((est.time(ctx.device.profile()), est.exact))
+}
+
 /// The outcome of tuning one variant: the best configuration (when any
 /// worked) and the first failure hit (when any failed) — kept so an
 /// all-variants-failed run can report *why* instead of a bare
@@ -471,9 +584,11 @@ fn tune_variant_batched(
     // The raw failure message as written to the checkpoint file; kept
     // separate from `first_failure` so repeated resumes never re-wrap it.
     let mut failure_msg: Option<String> = None;
-    // Configurations the static verifier rejected; resumes restore the
-    // count so interrupted and uninterrupted runs report the same total.
-    let mut pruned = 0usize;
+    // Configurations the static verifier rejected and the cost model
+    // pruned; resumes restore the counts so interrupted and uninterrupted
+    // runs report the same totals.
+    let mut pruned_verify = 0usize;
+    let mut pruned_model = 0usize;
     // A checkpointed search resumes from its recorded state instead of
     // starting over; a snapshot that does not belong to this run (other
     // space, seed or budget) is a hard, explained failure rather than a
@@ -498,7 +613,8 @@ fn tune_variant_batched(
                 };
             }
             failure_msg = entry.first_failure;
-            pruned = entry.pruned;
+            pruned_verify = entry.pruned_verify;
+            pruned_model = entry.pruned_model;
             first_failure = failure_msg
                 .clone()
                 .map(|m| LiftError::Checkpoint(format!("recorded before resume: {m}")));
@@ -515,30 +631,108 @@ fn tune_variant_batched(
                 }
             }
         }
-        None => Search::new(space, ctx.budget, search_seed),
+        None => {
+            let mut s = Search::new(space, ctx.budget, search_seed);
+            if ctx.cost.enabled {
+                // Model-ranked warm-start: the first batch simulated is the
+                // model's top proposals instead of pure PRNG draws. The
+                // ranker is a pure function of (cfg, device), so the
+                // reorder — and everything downstream — is deterministic.
+                s.warm_start_by(|cfg| {
+                    let named: Vec<(String, i64)> =
+                        names.iter().cloned().zip(cfg.iter().copied()).collect();
+                    model_time(ctx, variant, variant_fp, &named).map(|(t, _)| t)
+                });
+            }
+            s
+        }
     };
     loop {
-        // A batch slightly larger than the worker count keeps the pool fed
-        // without changing results (batch size never does).
-        let batch = search.ask(eval_threads * 2);
+        // With the model enabled, proposals are consumed one at a time so
+        // every prune decision consults the *freshest* incumbent — under
+        // warm-start the first proposal is the model's top pick, and once
+        // its simulation establishes the incumbent, each later proposal
+        // is pruned or simulated against the tightest threshold available
+        // (with an exact model, that is the minimal-simulation lossless
+        // pruner). Decisions depend only on the tell history — never on
+        // the worker count — so results stay bit-identical across thread
+        // counts, shards and checkpoint resumes; the few configurations
+        // that survive pruning still fan out across variants and sweep
+        // cells. Without the model, batch size never affects results, so
+        // it just keeps the pool fed.
+        let ask_n = if ctx.cost.enabled {
+            1
+        } else {
+            eval_threads * 2
+        };
+        let batch = search.ask(ask_n);
         if batch.is_empty() {
             break;
         }
-        let evaluated = parallel_map(eval_threads, batch, |cfg| {
+        // The prune threshold for this window: the incumbent's *exact*
+        // estimate. Until something succeeds there is no incumbent and
+        // nothing is pruned, so the search can never starve itself.
+        let threshold: Option<f64> = if ctx.cost.enabled {
+            search.best().and_then(|b| {
+                let named: Vec<(String, i64)> = names
+                    .iter()
+                    .cloned()
+                    .zip(b.values.iter().copied())
+                    .collect();
+                model_time(ctx, variant, variant_fp, &named)
+                    .filter(|(_, exact)| *exact)
+                    .map(|(t, _)| t)
+            })
+        } else {
+            None
+        };
+        // Split the window into simulate/prune, preserving proposal order.
+        // Only an *exact* candidate estimate may prune: an exact estimate
+        // equals the simulated time bit-for-bit, so with `k >= 1` a pruned
+        // configuration provably cannot improve the incumbent — a strictly
+        // worse one loses on score, and an exactly-tied one (est == inc at
+        // k = 1) loses the (score, proposal-index) tie-break, because the
+        // incumbent was necessarily told at an earlier proposal index.
+        let decisions: Vec<(Vec<i64>, bool)> = batch
+            .into_iter()
+            .map(|cfg| {
+                let prune = threshold.is_some_and(|inc| {
+                    let named: Vec<(String, i64)> =
+                        names.iter().cloned().zip(cfg.iter().copied()).collect();
+                    model_time(ctx, variant, variant_fp, &named)
+                        .is_some_and(|(t, exact)| exact && t >= ctx.cost.k * inc)
+                });
+                (cfg, prune)
+            })
+            .collect();
+        let to_eval: Vec<Vec<i64>> = decisions
+            .iter()
+            .filter(|(_, prune)| !prune)
+            .map(|(cfg, _)| cfg.clone())
+            .collect();
+        let evaluated = parallel_map(eval_threads, to_eval, |cfg| {
             let named: Vec<(String, i64)> =
                 names.iter().cloned().zip(cfg.iter().copied()).collect();
-            let score = evaluate_config(ctx, variant, variant_fp, &named, validate);
-            (cfg, score)
+            evaluate_config(ctx, variant, variant_fp, &named, validate)
         });
         // Tell in batch order == proposal order: the trace, incumbent and
-        // recorded first failure stay deterministic.
-        let tells = evaluated.len();
-        for (cfg, score) in evaluated {
-            match score {
+        // recorded first failure stay deterministic. A pruned proposal is
+        // told as failed without ever reaching the simulator; it is not a
+        // *failure* (nothing is wrong with it), so it never claims the
+        // first-failure slot.
+        let tells = decisions.len();
+        let mut scores = evaluated.into_iter();
+        for (cfg, prune) in decisions {
+            if prune {
+                pruned_model += 1;
+                search.tell(&cfg, None);
+                continue;
+            }
+            match scores.next().expect("one score per unpruned proposal") {
                 Ok(s) => search.tell(&cfg, Some(s)),
                 Err(e) => {
                     if matches!(e, LiftError::Verify { .. }) {
-                        pruned += 1;
+                        pruned_verify += 1;
                     }
                     if first_failure.is_none() {
                         failure_msg = Some(e.to_string());
@@ -549,19 +743,41 @@ fn tune_variant_batched(
             }
         }
         if let Some((c, key)) = ctx.checkpoint.as_ref().zip(ck_key.as_deref()) {
-            c.mgr
-                .record(key, search.snapshot(), failure_msg.clone(), pruned, tells);
+            c.mgr.record(
+                key,
+                search.snapshot(),
+                failure_msg.clone(),
+                pruned_verify,
+                pruned_model,
+                tells,
+            );
         }
     }
     // Record the finished search too, so a later process replays the
     // result instead of re-tuning a completed variant.
     if let Some((c, key)) = ctx.checkpoint.as_ref().zip(ck_key.as_deref()) {
-        c.mgr
-            .record(key, search.snapshot(), failure_msg.clone(), pruned, 0);
+        c.mgr.record(
+            key,
+            search.snapshot(),
+            failure_msg.clone(),
+            pruned_verify,
+            pruned_model,
+            0,
+        );
     }
     let evaluations = search.evaluations();
     let result = search.into_result();
     let tuned = result.best.and_then(|best| {
+        // How many successful simulations it took to first measure the
+        // winning score — the paper-scale "evaluations to best" metric.
+        // Derived from the trace (which checkpoints carry), so resumed
+        // runs report the same number as uninterrupted ones.
+        let evals_to_best = result
+            .trace
+            .iter()
+            .position(|c| c.score == best.score)
+            .map(|i| i + 1)
+            .unwrap_or(result.trace.len());
         let config: Vec<(String, i64)> = names.into_iter().zip(best.values).collect();
         let launch = launch_for(variant, &ctx.out_sizes, &config)?;
         let out_elems: usize = ctx.out_sizes.iter().product();
@@ -574,7 +790,10 @@ fn tune_variant_batched(
             tiled: variant.tiled,
             local_mem: variant.local_mem,
             evaluations,
-            pruned,
+            evals_to_best,
+            pruned_verify,
+            pruned_model,
+            sims: result.trace.len(),
         })
     });
     VariantOutcome {
@@ -658,6 +877,7 @@ pub fn ppcg_baseline(
         checkpoint: manager
             .clone()
             .map(|mgr| CellCheckpoint::new(mgr, bench.name, dev.profile().name, sizes)),
+        cost: opts.resolved_cost_prune(),
     };
     let outcome = tune_variant(&ctx, &variant);
     if let Some(mgr) = manager {
@@ -711,6 +931,9 @@ pub fn reference_baseline(
         tiled: false,
         local_mem: bench.name == "Hotspot2D",
         evaluations: 1,
-        pruned: 0,
+        evals_to_best: 1,
+        pruned_verify: 0,
+        pruned_model: 0,
+        sims: 1,
     })
 }

@@ -368,8 +368,15 @@ pub struct BenchRow {
     pub tiled: bool,
     /// Whether it stages through local memory.
     pub local_mem: bool,
+    /// Simulator evaluations spent before the winning configuration was
+    /// first scored (1 = the warm-started first proposal won).
+    pub evals_to_best: usize,
     /// Configurations the static verifier rejected during tuning.
-    pub pruned: usize,
+    pub pruned_verify: usize,
+    /// Configurations the cost model pruned as dominated during tuning.
+    pub pruned_model: usize,
+    /// Successful simulator executions during tuning.
+    pub sims: usize,
 }
 
 /// Runs one Table-1 benchmark in isolation (`lift-harness bench <name>`):
@@ -426,7 +433,10 @@ pub fn bench_shard(
                     winner: v.name == result.winner.name,
                     tiled: v.tiled,
                     local_mem: v.local_mem,
-                    pruned: v.pruned,
+                    evals_to_best: v.evals_to_best,
+                    pruned_verify: v.pruned_verify,
+                    pruned_model: v.pruned_model,
+                    sims: v.sims,
                 })
                 .collect(),
         ))
@@ -459,8 +469,11 @@ pub struct VerifyRow {
 
 /// Representative parameter assignments for one variant: each tunable's
 /// smallest and largest usable candidate, crossed with the default launch
-/// geometry and an explicit square-ish work-group.
-fn rep_configs(variant: &Variant) -> Vec<Vec<(String, i64)>> {
+/// geometry and an explicit square-ish work-group. Shared by the `verify`
+/// sweep and the cost-model accuracy sweep (`lift-harness model`), so the
+/// model's accuracy is reported over exactly the configurations the
+/// verifier gates.
+pub(crate) fn rep_configs(variant: &Variant) -> Vec<Vec<(String, i64)>> {
     let mut tun_choices: Vec<Vec<(String, i64)>> = vec![Vec::new()];
     for t in &variant.tunables {
         let cands = t.candidates(64);

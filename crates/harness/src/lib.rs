@@ -28,10 +28,13 @@
 
 #![forbid(unsafe_code)]
 
+pub mod compare;
 pub mod experiments;
+pub mod model;
 pub mod perf;
 pub mod report;
 
+pub use compare::compare_docs;
 pub use experiments::{
     ablation, ablation_shard, ablation_with, bench_one, bench_shard, fig7, fig7_shard, fig7_with,
     fig8, fig8_shard, fig8_with, table1, validate_shard, verify_sweep, verify_sweep_with,
@@ -39,6 +42,7 @@ pub use experiments::{
 };
 pub use lift_driver::{BenchResult, LiftError, Pipeline, TunedVariant};
 pub use lift_tuner::parallel_map;
+pub use model::{model_report, model_report_with, ModelReport};
 pub use report::merge_parts;
 
 /// The tuning budget per variant/device pair.

@@ -14,6 +14,10 @@
 //! lift-harness perf [--json]      # simulator perf report → BENCH_sim.json
 //! lift-harness verify [--json]    # static verifier over every kernel
 //!                                 # (non-zero exit on any finding)
+//! lift-harness model [--json]     # cost-model accuracy + tuning savings
+//!                                 # (non-zero exit below the gates)
+//! lift-harness compare a.json b.json  # diff two reports; non-zero exit
+//!                                     # on any regression
 //!
 //! # Distributed & resumable tuning:
 //! lift-harness --checkpoint ck.json fig7         # resumable (kill + rerun)
@@ -63,6 +67,20 @@ USAGE:
                                      verification of every benchmark x
                                      device x variant kernel; exits 1 on
                                      any finding — the CI safety gate)
+    lift-harness model [--json]     (static cost model vs the simulator:
+                                     per-cell Spearman rank correlation
+                                     over benchmark x device x variant x
+                                     config, plus evaluations-to-best with
+                                     and without model guidance; exits 1
+                                     when a cell's correlation falls below
+                                     0.8 or the guided and unguided tuners
+                                     disagree on a winner)
+    lift-harness compare <a.json> <b.json>
+                                    (diff two --json reports or two
+                                     BENCH_sim.json files: config deltas,
+                                     prune-count drift, throughput or
+                                     speedup regressions; exits 1 on any
+                                     regression)
     lift-harness --list-benchmarks [--json]
 
 FLAGS:
@@ -91,6 +109,11 @@ ENVIRONMENT:
     LIFT_CHECKPOINT_EVERY tells between checkpoint writes (default 16)
     LIFT_FULL_SIZES=1     the paper's original grid sizes (slow)
     LIFT_SEED             experiment seed (default 2018)
+    LIFT_COST_PRUNE       cost-model tuning guidance: `off`/`0` disables
+                          warm-start + pruning, a positive float sets the
+                          domination threshold k (default 1.0). Never
+                          changes tuning results, only how many simulator
+                          evaluations reach them.
 ";
 
 /// Renders one experiment to its output document, sweeping on up to
@@ -291,8 +314,8 @@ fn run(cmd: &str, json: bool) -> Result<(), LiftError> {
         }
         other => {
             eprintln!(
-                "unknown experiment `{other}`; use table1|fig7|fig8|ablation|bench <name>|all|merge \
-                 (or --help)"
+                "unknown experiment `{other}`; use table1|fig7|fig8|ablation|bench <name>|all|\
+                 merge|perf|verify|model|compare (or --help)"
             );
             std::process::exit(2);
         }
@@ -440,6 +463,63 @@ fn main() {
                 );
                 if findings > 0 {
                     eprintln!("lift-harness: static verification found {findings} problem(s)");
+                    std::process::exit(1);
+                }
+            }
+            Err(e) => {
+                eprintln!("lift-harness: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    if cmd == "compare" {
+        let files = &positional[1..];
+        let [a, b] = files else {
+            usage_error("compare needs exactly two report files: compare <a.json> <b.json>");
+        };
+        let read = |f: &String| {
+            std::fs::read_to_string(f).unwrap_or_else(|e| {
+                eprintln!("lift-harness: {f}: {e}");
+                std::process::exit(1);
+            })
+        };
+        match lift_harness::compare_docs(a, &read(a), b, &read(b)) {
+            Ok(c) => {
+                print!("{}", c.render());
+                if c.regressed() {
+                    eprintln!("lift-harness: {} regression(s) vs {a}", c.regressions.len());
+                    std::process::exit(1);
+                }
+            }
+            Err(e) => {
+                eprintln!("lift-harness: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    if cmd == "model" {
+        if positional.len() > 1 {
+            usage_error("model takes no further arguments");
+        }
+        match lift_harness::model_report() {
+            Ok(report) => {
+                print!(
+                    "{}",
+                    if json {
+                        report.to_json()
+                    } else {
+                        report.render()
+                    }
+                );
+                let failures = report.gate_failures();
+                if !failures.is_empty() {
+                    for f in &failures {
+                        eprintln!("lift-harness: model gate: {f}");
+                    }
                     std::process::exit(1);
                 }
             }

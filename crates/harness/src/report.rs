@@ -131,7 +131,7 @@ fn bench_row_json(r: &BenchRow) -> String {
         .collect::<Vec<_>>()
         .join(", ");
     format!(
-        "{{\"bench\": {}, \"device\": {}, \"variant\": {}, \"time_s\": {}, \"gelems\": {}, \"config\": {{{config}}}, \"winner\": {}, \"tiled\": {}, \"local_mem\": {}, \"pruned\": {}}}",
+        "{{\"bench\": {}, \"device\": {}, \"variant\": {}, \"time_s\": {}, \"gelems\": {}, \"config\": {{{config}}}, \"winner\": {}, \"tiled\": {}, \"local_mem\": {}, \"evals_to_best\": {}, \"pruned_verify\": {}, \"pruned_model\": {}, \"sims\": {}}}",
         json_str(&r.bench),
         json_str(&r.device),
         json_str(&r.variant),
@@ -140,7 +140,10 @@ fn bench_row_json(r: &BenchRow) -> String {
         r.winner,
         r.tiled,
         r.local_mem,
-        r.pruned
+        r.evals_to_best,
+        r.pruned_verify,
+        r.pruned_model,
+        r.sims
     )
 }
 

@@ -61,6 +61,10 @@ pub enum SimError {
         /// The underlying fault.
         cause: Box<SimError>,
     },
+    /// The static cost model could not produce an estimate for this
+    /// (kernel, launch) pair — e.g. a loop bound depends on buffer data the
+    /// analyzer does not track. Never raised by the executors themselves.
+    Estimate(String),
 }
 
 impl fmt::Display for SimError {
@@ -80,6 +84,7 @@ impl fmt::Display for SimError {
             SimError::PlanCompile { context, cause } => {
                 write!(f, "plan compilation failed in {context}: {cause}")
             }
+            SimError::Estimate(m) => write!(f, "cost estimate unavailable: {m}"),
         }
     }
 }
@@ -231,7 +236,7 @@ pub(crate) fn call_cost(body: &str) -> u64 {
 /// running a statement batch that retired `alu_ops − before` ops over the
 /// active lanes of `mask`, charge the idle lanes of every touched warp
 /// proportionally.
-fn simd_charge(stats: &mut KernelStats, warp: usize, mask: &[bool], before: u64) {
+pub(crate) fn simd_charge(stats: &mut KernelStats, warp: usize, mask: &[bool], before: u64) {
     let delta = stats.alu_ops - before;
     if delta == 0 {
         return;

@@ -50,6 +50,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod cost;
 pub mod device;
 pub mod exec;
 pub mod perf;
@@ -57,6 +58,7 @@ pub mod plan;
 pub mod runtime;
 pub mod verify;
 
+pub use cost::CostEstimate;
 pub use device::DeviceProfile;
 pub use exec::SimError;
 pub use perf::KernelStats;

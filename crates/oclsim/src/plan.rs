@@ -351,11 +351,17 @@ pub struct PlannedKernel {
     /// Static-verification reports, memoised per (launch, local-memory
     /// budget) — the two inputs [`crate::verify`] depends on.
     verified: Mutex<VerifyCache>,
+    /// Static cost estimates, memoised per (launch, warp width) — the two
+    /// inputs [`crate::cost`] depends on besides the plan itself.
+    estimated: Mutex<EstimateCache>,
 }
 
 /// Memoised verification results, keyed by the launch geometry and the
 /// device's per-CU local-memory budget.
 type VerifyCache = HashMap<(crate::runtime::LaunchConfig, usize), Arc<Vec<VerifyFinding>>>;
+
+/// Memoised cost estimates, keyed by the launch geometry and warp width.
+type EstimateCache = HashMap<(crate::runtime::LaunchConfig, usize), Arc<crate::cost::CostEstimate>>;
 
 impl PlannedKernel {
     /// Wraps a compiled kernel; the plan is built on first use (or
@@ -370,6 +376,7 @@ impl PlannedKernel {
             kernel,
             plan: OnceLock::new(),
             verified: Mutex::new(HashMap::new()),
+            estimated: Mutex::new(HashMap::new()),
         }
     }
 
@@ -421,6 +428,40 @@ impl PlannedKernel {
             .expect("verify cache")
             .insert(key, findings.clone());
         Ok(findings)
+    }
+
+    /// Statically predicts the kernel's [`crate::KernelStats`] for one
+    /// launch configuration on one device (see [`crate::cost`]) without
+    /// executing; results are memoised per (launch, warp width), so tuners
+    /// probing thousands of launches over a handful of kernels pay for each
+    /// analysis once. The estimate is a pure function of
+    /// (plan, launch, warp) — bit-identical across threads and shards.
+    ///
+    /// # Errors
+    ///
+    /// As [`PlannedKernel::plan`], plus [`SimError::Estimate`] when the
+    /// kernel's control flow defeats static analysis, or any provable
+    /// launch fault ([`SimError::BadLaunch`], [`SimError::OutOfBounds`],
+    /// ...) the real run would also raise. Failures are not cached.
+    pub fn estimate(
+        &self,
+        cfg: crate::runtime::LaunchConfig,
+        profile: &crate::device::DeviceProfile,
+    ) -> Result<Arc<crate::cost::CostEstimate>, SimError> {
+        let warp = profile.warp_width as usize;
+        let key = (cfg, warp);
+        if let Some(hit) = self.estimated.lock().expect("estimate cache").get(&key) {
+            return Ok(hit.clone());
+        }
+        let plan = self.plan()?;
+        let params: Vec<(CType, usize)> =
+            self.kernel.params.iter().map(|p| (p.elem, p.len)).collect();
+        let est = Arc::new(crate::cost::estimate_plan(&plan, &params, cfg, warp)?);
+        self.estimated
+            .lock()
+            .expect("estimate cache")
+            .insert(key, est.clone());
+        Ok(est)
     }
 }
 

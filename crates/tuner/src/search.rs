@@ -169,6 +169,43 @@ impl Search {
         &self.space
     }
 
+    /// Reorders the initial proposal block so the most promising
+    /// configurations (lowest `rank` value) are asked first — a
+    /// model-ranked warm-start. Configurations the ranker cannot score
+    /// (`None`) sort after every ranked one. The sort is stable on
+    /// (rank, original proposal position), so a *pure* ranker keeps the
+    /// reordering deterministic, and rank ties preserve the original
+    /// proposal order — the (score, proposal index) incumbent tie-break
+    /// still resolves the same way whenever tied proposals tie in rank.
+    ///
+    /// Only the not-yet-asked proposals of the first block are reordered:
+    /// the call is a no-op once any proposal has been handed out or told
+    /// (in particular on a search restored mid-run from a snapshot, whose
+    /// recorded proposal order must be preserved for resume determinism —
+    /// a snapshot taken *after* warm-starting records the reordered queue,
+    /// so resumed and uninterrupted warm-started runs still agree).
+    pub fn warm_start_by<F>(&mut self, mut rank: F)
+    where
+        F: FnMut(&[i64]) -> Option<f64>,
+    {
+        if self.evaluations > 0 || !self.outstanding.is_empty() {
+            return;
+        }
+        let mut items: Vec<(Option<f64>, usize, Vec<i64>)> = self
+            .pending
+            .drain(..)
+            .enumerate()
+            .map(|(i, cfg)| (rank(&cfg), i, cfg))
+            .collect();
+        items.sort_by(|a, b| match (a.0, b.0) {
+            (Some(x), Some(y)) => x.total_cmp(&y).then(a.1.cmp(&b.1)),
+            (Some(_), None) => std::cmp::Ordering::Less,
+            (None, Some(_)) => std::cmp::Ordering::Greater,
+            (None, None) => a.1.cmp(&b.1),
+        });
+        self.pending = items.into_iter().map(|(_, _, cfg)| cfg).collect();
+    }
+
     /// Proposes up to `n` configurations to evaluate next.
     ///
     /// Returns an empty batch when (a) the search is finished — check

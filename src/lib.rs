@@ -63,6 +63,6 @@ pub use lift_stencils;
 pub use lift_tuner;
 
 pub use lift_driver::{
-    BenchResult, Budget, CacheStats, CheckpointManager, CompiledStencil, DeviceSession,
+    BenchResult, Budget, CacheStats, CheckpointManager, CompiledStencil, CostModel, DeviceSession,
     KernelCache, LiftError, Pipeline, TuneOptions, TuneOutcome, TunedVariant, VariantSet,
 };

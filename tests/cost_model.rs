@@ -1,0 +1,292 @@
+//! Differential suite for the static cost model.
+//!
+//! The model's value rests on two properties, each pinned here:
+//!
+//! 1. **Exactness** — on kernels whose control flow and addressing never
+//!    depend on buffer contents (every generated stencil qualifies), the
+//!    statically predicted [`KernelStats`] equal the executor-measured
+//!    ones **bit for bit**, and so does the modeled time. This is checked
+//!    across every Table-1 benchmark × explored variant × device profile.
+//! 2. **Conservatism** — where control flow *is* data-dependent the
+//!    estimate flips `exact` off and only ever over-counts: predicted
+//!    traffic and ALU work bound the measured ones from above.
+
+use lift_codegen::clike::{
+    AddressSpace, BinOp, CExpr, CStmt, CType, Kernel, KernelParam, VarRef, WorkItemFn,
+};
+use lift_driver::Pipeline;
+use lift_oclsim::{
+    BufferData, DeviceProfile, KernelStats, LaunchConfig, PlannedKernel, VirtualDevice,
+};
+use lift_rewrite::Tunable;
+use lift_stencils::suite;
+
+fn diff_sizes(dims: usize) -> Vec<usize> {
+    match dims {
+        1 => vec![128],
+        2 => vec![48, 40],
+        _ => vec![12, 16, 20],
+    }
+}
+
+fn variant_config(tunables: &[Tunable], dims: usize) -> Option<Vec<(String, i64)>> {
+    let mut cfg: Vec<(String, i64)> = Vec::new();
+    for t in tunables {
+        let cands = t.candidates(64);
+        let v = match t {
+            Tunable::TileSize { nbh_size, .. } => cands.into_iter().find(|u| *u >= nbh_size + 3)?,
+            Tunable::CoarsenFactor { .. } => cands.into_iter().next()?,
+        };
+        cfg.push((t.var().to_string(), v));
+    }
+    cfg.push(("lx".into(), 8));
+    if dims >= 2 {
+        cfg.push(("ly".into(), 4));
+    }
+    if dims >= 3 {
+        cfg.push(("lz".into(), 2));
+    }
+    Some(cfg)
+}
+
+/// Every Table-1 benchmark × variant × device: the static estimate is
+/// exact and every stats counter — and therefore the modeled time —
+/// matches the measured run bit for bit.
+#[test]
+fn estimates_are_bit_exact_on_every_benchmark_variant_device() {
+    let devices: Vec<VirtualDevice> = DeviceProfile::all()
+        .into_iter()
+        .map(VirtualDevice::new)
+        .collect();
+    let mut compared = 0usize;
+    for bench in suite() {
+        let sizes = diff_sizes(bench.dims);
+        let variants = Pipeline::from_benchmark(&bench, &sizes)
+            .expect("pipeline")
+            .explore()
+            .expect("explores");
+        let names: Vec<String> = variants.names().iter().map(|s| s.to_string()).collect();
+        let inputs: Vec<BufferData> = bench
+            .gen_inputs(&sizes, 7)
+            .into_iter()
+            .map(BufferData::F32)
+            .collect();
+        for dev in &devices {
+            for name in &names {
+                let variant = variants.get(name).expect("listed variant");
+                let Some(cfg) = variant_config(&variant.tunables, variant.dims) else {
+                    continue;
+                };
+                let cfg_refs: Vec<(&str, i64)> =
+                    cfg.iter().map(|(n, v)| (n.as_str(), *v)).collect();
+                let compiled = match variants.clone().on(dev).with_config(name, &cfg_refs) {
+                    Ok(c) => c,
+                    Err(_) => continue,
+                };
+                let label = format!("{}/{name} on {}", bench.name, dev.profile().name);
+                let measured = match dev.run(compiled.kernel(), &inputs, compiled.launch()) {
+                    Ok(m) => m,
+                    // A faulting cell is out of scope here (the engines'
+                    // differential suite covers fault agreement).
+                    Err(_) => continue,
+                };
+                let planned = PlannedKernel::from_arc(compiled.kernel().clone());
+                let est = planned
+                    .estimate(compiled.launch(), dev.profile())
+                    .unwrap_or_else(|e| panic!("estimate refused for {label}: {e}"));
+                assert!(est.exact, "stencil kernel not statically exact: {label}");
+                assert_eq!(
+                    est.stats, measured.stats,
+                    "static stats diverge from measured for {label}"
+                );
+                assert_eq!(
+                    est.time(dev.profile()).to_bits(),
+                    measured.time_s.to_bits(),
+                    "modeled times diverge for {label}: {} vs {}",
+                    est.time(dev.profile()),
+                    measured.time_s
+                );
+                // Memoisation returns the identical Arc.
+                let again = planned
+                    .estimate(compiled.launch(), dev.profile())
+                    .expect("cached estimate");
+                assert!(
+                    std::sync::Arc::ptr_eq(&est, &again),
+                    "cache miss for {label}"
+                );
+                compared += 1;
+            }
+        }
+    }
+    assert!(
+        compared >= 100,
+        "expected a broad comparison matrix, only {compared} cells ran"
+    );
+}
+
+fn buf(name: &str, len: usize, is_output: bool) -> KernelParam {
+    KernelParam {
+        var: VarRef::fresh(name),
+        elem: CType::Float,
+        len,
+        is_output,
+    }
+}
+
+/// A kernel whose branch condition depends on buffer *contents*: the
+/// model cannot know which arm runs, so it must flip `exact` off and
+/// charge an upper bound on every counter the branch can influence.
+#[test]
+fn data_dependent_branches_only_overestimate() {
+    let a = buf("A", 64, false);
+    let out = buf("out", 64, true);
+    let gid = VarRef::fresh("gid");
+    let kernel = Kernel {
+        name: "data_branch".into(),
+        body: vec![
+            CStmt::DeclScalar {
+                var: gid.clone(),
+                ty: CType::Int,
+                init: Some(CExpr::WorkItem(WorkItemFn::GlobalId, 0)),
+            },
+            CStmt::If {
+                // `A[gid] < A[0]` is unknowable without data.
+                cond: CExpr::Bin(
+                    BinOp::Lt,
+                    Box::new(CExpr::Load {
+                        buf: a.var.clone(),
+                        space: AddressSpace::Global,
+                        idx: Box::new(CExpr::Var(gid.clone())),
+                    }),
+                    Box::new(CExpr::Load {
+                        buf: a.var.clone(),
+                        space: AddressSpace::Global,
+                        idx: Box::new(CExpr::Int(0)),
+                    }),
+                ),
+                then_: vec![CStmt::Store {
+                    buf: out.var.clone(),
+                    space: AddressSpace::Global,
+                    idx: CExpr::Var(gid.clone()),
+                    value: CExpr::Bin(
+                        BinOp::Add,
+                        Box::new(CExpr::Load {
+                            buf: a.var.clone(),
+                            space: AddressSpace::Global,
+                            idx: Box::new(CExpr::Var(gid.clone())),
+                        }),
+                        Box::new(CExpr::Float(1.0)),
+                    ),
+                }],
+                else_: vec![CStmt::Store {
+                    buf: out.var.clone(),
+                    space: AddressSpace::Global,
+                    idx: CExpr::Var(gid.clone()),
+                    value: CExpr::Float(0.0),
+                }],
+            },
+        ],
+        params: vec![a, out],
+        locals: vec![],
+        user_funs: vec![],
+    };
+    let cfg = LaunchConfig {
+        global: [64, 1, 1],
+        local: [16, 1, 1],
+    };
+    let dev = VirtualDevice::new(DeviceProfile::k20c());
+    let inputs = vec![BufferData::F32(
+        (0..64).map(|i| (i % 7) as f32 - 3.0).collect(),
+    )];
+    let measured = dev.run(&kernel, &inputs, cfg).expect("runs");
+    let planned = PlannedKernel::new(kernel);
+    let est = planned.estimate(cfg, dev.profile()).expect("estimates");
+    assert!(!est.exact, "a data-dependent branch cannot be exact");
+    let over = |what: &str, e: u64, m: u64| {
+        assert!(e >= m, "{what} underestimated: static {e} < measured {m}");
+    };
+    let (e, m): (&KernelStats, &KernelStats) = (&est.stats, &measured.stats);
+    over("global_loads", e.global_loads, m.global_loads);
+    over("global_stores", e.global_stores, m.global_stores);
+    over(
+        "load_transactions",
+        e.load_transactions,
+        m.load_transactions,
+    );
+    over(
+        "store_transactions",
+        e.store_transactions,
+        m.store_transactions,
+    );
+    over("unique_segments", e.unique_segments, m.unique_segments);
+    over("local_accesses", e.local_accesses, m.local_accesses);
+    over("alu_ops", e.alu_ops, m.alu_ops);
+    over("barriers", e.barriers, m.barriers);
+    assert!(
+        est.time(dev.profile()) >= measured.time_s,
+        "modeled time underestimated"
+    );
+    // The launch-shape counters are not control-flow dependent and stay
+    // exact even on the inexact path.
+    assert_eq!(e.work_items, m.work_items);
+    assert_eq!(e.work_groups, m.work_groups);
+    assert_eq!(e.wg_size, m.wg_size);
+}
+
+/// A loop whose bound comes out of a buffer defeats static analysis: the
+/// estimate must refuse (`SimError::Estimate`), not guess or hang.
+#[test]
+fn data_dependent_loop_bounds_refuse_cleanly() {
+    let a = buf("A", 8, false);
+    let out = buf("out", 8, true);
+    let i = VarRef::fresh("i");
+    let n = VarRef::fresh("n");
+    let kernel = Kernel {
+        name: "data_loop".into(),
+        body: vec![
+            CStmt::DeclScalar {
+                var: n.clone(),
+                ty: CType::Int,
+                init: Some(CExpr::Cast(
+                    CType::Int,
+                    Box::new(CExpr::Load {
+                        buf: a.var.clone(),
+                        space: AddressSpace::Global,
+                        idx: Box::new(CExpr::Int(0)),
+                    }),
+                )),
+            },
+            CStmt::For {
+                var: i.clone(),
+                init: CExpr::Int(0),
+                bound: CExpr::Var(n.clone()),
+                step: CExpr::Int(1),
+                body: vec![CStmt::Store {
+                    buf: out.var.clone(),
+                    space: AddressSpace::Global,
+                    idx: CExpr::Int(0),
+                    value: CExpr::Float(1.0),
+                }],
+            },
+        ],
+        params: vec![a, out],
+        locals: vec![],
+        user_funs: vec![],
+    };
+    let cfg = LaunchConfig {
+        global: [8, 1, 1],
+        local: [8, 1, 1],
+    };
+    let planned = PlannedKernel::new(kernel);
+    let err = planned
+        .estimate(cfg, &DeviceProfile::k20c())
+        .expect_err("must refuse");
+    assert!(
+        matches!(err, lift_oclsim::SimError::Estimate(_)),
+        "wrong fault: {err:?}"
+    );
+    assert!(
+        err.to_string().contains("cost estimate unavailable"),
+        "message: {err}"
+    );
+}

@@ -130,7 +130,7 @@ fn statically_invalid_configs_are_counted_as_pruned() {
         .tune_full(TuneOptions::evaluations(8).with_seed(5))
         .expect("the untiled variants still tune")
         .report;
-    let pruned: usize = report.all.iter().map(|v| v.pruned).sum();
+    let pruned: usize = report.all.iter().map(|v| v.pruned_verify).sum();
     assert!(
         pruned > 0,
         "256 bytes of local memory must verify-prune tiled candidates; \
@@ -138,7 +138,7 @@ fn statically_invalid_configs_are_counted_as_pruned() {
         report
             .all
             .iter()
-            .map(|v| (v.name.as_str(), v.pruned))
+            .map(|v| (v.name.as_str(), v.pruned_verify))
             .collect::<Vec<_>>()
     );
 }
