@@ -43,12 +43,35 @@ use lift_tuner::json::Value;
 use lift_tuner::SearchState;
 
 use crate::error::LiftError;
+use crate::fault;
 
 /// The version written into (and required from) every checkpoint file.
 /// Version 2 split the verifier/cost-model prune counters; version-1 files
 /// are rejected with a clear [`LiftError::Checkpoint`] (delete the file or
 /// re-run with the build that wrote it).
 pub const CHECKPOINT_SCHEMA_VERSION: u64 = 2;
+
+/// Why a checkpoint file failed to load. The distinction matters for
+/// recovery: a [`ParseError::Version`] file is *intact* — some other build
+/// wrote it and silently discarding it would throw away good work, so it
+/// stays a hard error. A [`ParseError::Corrupt`] file is damaged (torn
+/// write, bit rot, truncation) and can never load under any build, so
+/// [`CheckpointManager::at`] quarantines it and restarts fresh.
+#[derive(Debug)]
+enum ParseError {
+    /// Well-formed file written by an incompatible schema version.
+    Version(String),
+    /// Unreadable content: invalid JSON, missing/damaged fields.
+    Corrupt(String),
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::Version(m) | ParseError::Corrupt(m) => f.write_str(m),
+        }
+    }
+}
 
 /// One checkpointed search: its engine state plus the first failure the
 /// driver recorded for it (kept so a resumed all-variants-failed run can
@@ -95,18 +118,44 @@ impl CheckpointManager {
     /// manager — concurrent sweep cells share the file safely — and keeps
     /// the first call's `every` cadence.
     ///
+    /// First use also recovers from two crash leftovers instead of dying
+    /// on them: a stale `<path>.tmp` abandoned mid-atomic-write is swept
+    /// (the rename never happened, so it holds nothing the real file
+    /// lacks), and a *corrupt* checkpoint is quarantined — renamed to the
+    /// first free `<path>.corrupt-<k>` with a stderr warning — so the run
+    /// restarts fresh rather than failing hard. Determinism makes the
+    /// restart safe: a fresh search converges to the same result the
+    /// checkpointed one would have.
+    ///
     /// # Errors
     ///
-    /// [`LiftError::Checkpoint`] when an existing file cannot be read or
-    /// parsed, or carries a `schema_version` this build does not read.
+    /// [`LiftError::Checkpoint`] when an existing file cannot be read
+    /// (I/O), cannot be quarantined, or is intact but carries a
+    /// `schema_version` this build does not read — that file is another
+    /// build's good work and is never silently discarded.
     pub fn at(path: &Path, every: usize) -> Result<Arc<CheckpointManager>, LiftError> {
         let mut reg = registry().lock().expect("checkpoint registry poisoned");
         if let Some(mgr) = reg.get(path) {
             return Ok(mgr.clone());
         }
+        sweep_stale_tmp(path);
         let entries = match std::fs::read_to_string(path) {
-            Ok(text) => parse_file(&text)
-                .map_err(|e| LiftError::Checkpoint(format!("{}: {e}", path.display())))?,
+            Ok(text) => match parse_file(&text) {
+                Ok(entries) => entries,
+                Err(ParseError::Version(e)) => {
+                    return Err(LiftError::Checkpoint(format!("{}: {e}", path.display())))
+                }
+                Err(ParseError::Corrupt(e)) => {
+                    let quarantined = quarantine(path).map_err(LiftError::Checkpoint)?;
+                    eprintln!(
+                        "lift-driver: warning: checkpoint {} is corrupt ({e}); quarantined as {} \
+                         and starting fresh",
+                        path.display(),
+                        quarantined.display()
+                    );
+                    BTreeMap::new()
+                }
+            },
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => BTreeMap::new(),
             Err(e) => {
                 return Err(LiftError::Checkpoint(format!(
@@ -214,19 +263,86 @@ impl CellCheckpoint {
     }
 }
 
-fn parse_file(text: &str) -> Result<BTreeMap<String, CheckpointEntry>, String> {
-    let v = Value::parse(text)?;
+/// The sibling temp path the atomic writer stages documents in.
+fn tmp_path(path: &Path) -> PathBuf {
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    PathBuf::from(tmp)
+}
+
+/// Removes a stale `<path>.tmp` left by a process killed between staging
+/// and rename. It is always safe to drop: the rename never happened, so
+/// the real checkpoint (if any) is intact and the temp holds at most a
+/// superset the next run will regenerate deterministically.
+fn sweep_stale_tmp(path: &Path) {
+    let tmp = tmp_path(path);
+    match std::fs::remove_file(&tmp) {
+        Ok(()) => eprintln!(
+            "lift-driver: warning: swept stale checkpoint temp file {} (crash leftover)",
+            tmp.display()
+        ),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+        Err(e) => eprintln!(
+            "lift-driver: warning: cannot sweep stale temp file {}: {e}",
+            tmp.display()
+        ),
+    }
+}
+
+/// Renames a corrupt checkpoint to the first free `<path>.corrupt-<k>`
+/// (k = 1, 2, …) and returns the quarantine path, preserving the damaged
+/// bytes for post-mortem instead of overwriting them.
+fn quarantine(path: &Path) -> Result<PathBuf, String> {
+    for k in 1..=1000u32 {
+        let mut name = path.as_os_str().to_owned();
+        name.push(format!(".corrupt-{k}"));
+        let candidate = PathBuf::from(name);
+        if candidate.exists() {
+            continue;
+        }
+        return std::fs::rename(path, &candidate)
+            .map(|()| candidate.clone())
+            .map_err(|e| {
+                format!(
+                    "cannot quarantine corrupt checkpoint {} as {}: {e}",
+                    path.display(),
+                    candidate.display()
+                )
+            });
+    }
+    Err(format!(
+        "cannot quarantine corrupt checkpoint {}: over 1000 quarantined copies already exist",
+        path.display()
+    ))
+}
+
+fn parse_file(text: &str) -> Result<BTreeMap<String, CheckpointEntry>, ParseError> {
+    let v = Value::parse(text).map_err(ParseError::Corrupt)?;
     let version = v.get("schema_version").and_then(Value::as_u64);
     if version != Some(CHECKPOINT_SCHEMA_VERSION) {
-        return Err(format!(
+        let msg = format!(
             "unsupported checkpoint schema_version {} (this build reads version {})",
             version.map_or("<missing>".to_string(), |x| x.to_string()),
             CHECKPOINT_SCHEMA_VERSION
-        ));
+        );
+        // A parseable document with a wrong/missing version is another
+        // build's intact file; an unparseable `schema_version` would have
+        // failed JSON parsing above.
+        return Err(if v.get("schema_version").is_none() {
+            ParseError::Corrupt(msg)
+        } else {
+            ParseError::Version(msg)
+        });
     }
     let Some(Value::Obj(members)) = v.get("entries") else {
-        return Err("checkpoint field `entries` is missing or not an object".into());
+        return Err(ParseError::Corrupt(
+            "checkpoint field `entries` is missing or not an object".into(),
+        ));
     };
+    parse_entries(members).map_err(ParseError::Corrupt)
+}
+
+fn parse_entries(members: &[(String, Value)]) -> Result<BTreeMap<String, CheckpointEntry>, String> {
     let mut entries = BTreeMap::new();
     for (key, entry) in members {
         let state_json = entry
@@ -308,11 +424,10 @@ fn render_file(entries: &BTreeMap<String, CheckpointEntry>) -> String {
 /// then renames over the target, so a kill mid-write can never leave a
 /// half-written checkpoint for the next run to trip over.
 fn write_file(path: &Path, entries: &BTreeMap<String, CheckpointEntry>) -> Result<(), String> {
-    let mut tmp = path.as_os_str().to_owned();
-    tmp.push(".tmp");
-    let tmp = PathBuf::from(tmp);
-    std::fs::write(&tmp, render_file(entries))
-        .map_err(|e| format!("cannot write {}: {e}", tmp.display()))?;
+    let rendered = render_file(entries);
+    fault::sabotage_checkpoint_write(path, &rendered);
+    let tmp = tmp_path(path);
+    std::fs::write(&tmp, rendered).map_err(|e| format!("cannot write {}: {e}", tmp.display()))?;
     std::fs::rename(&tmp, path).map_err(|e| {
         format!(
             "cannot rename {} over {}: {e}",
@@ -373,16 +488,94 @@ mod tests {
     #[test]
     fn version_mismatch_is_a_clear_error() {
         let err = parse_file(r#"{"schema_version": 9, "entries": {}}"#).unwrap_err();
-        assert!(err.contains("schema_version 9"), "{err}");
-        assert!(err.contains("version 2"), "{err}");
+        assert!(matches!(err, ParseError::Version(_)), "{err:?}");
+        let msg = err.to_string();
+        assert!(msg.contains("schema_version 9"), "{msg}");
+        assert!(msg.contains("version 2"), "{msg}");
         // A version-1 file (pre cost-model prune split) is rejected the
         // same way: a clear error, never a panic or silent zeroing.
         let err = parse_file(r#"{"schema_version": 1, "entries": {}}"#).unwrap_err();
-        assert!(err.contains("schema_version 1"), "{err}");
-        assert!(err.contains("version 2"), "{err}");
+        assert!(matches!(err, ParseError::Version(_)), "{err:?}");
+        let msg = err.to_string();
+        assert!(msg.contains("schema_version 1"), "{msg}");
+        assert!(msg.contains("version 2"), "{msg}");
+    }
+
+    #[test]
+    fn damage_classifies_as_corrupt_not_version_skew() {
+        // No version field at all: indistinguishable from damage, so
+        // corrupt (quarantine) rather than a hard versioned rejection.
         let err = parse_file(r#"{"entries": {}}"#).unwrap_err();
-        assert!(err.contains("<missing>"), "{err}");
-        assert!(parse_file("not json at all").is_err());
+        assert!(matches!(err, ParseError::Corrupt(_)), "{err:?}");
+        assert!(err.to_string().contains("<missing>"), "{err}");
+        let err = parse_file("not json at all").unwrap_err();
+        assert!(matches!(err, ParseError::Corrupt(_)), "{err:?}");
+        // Right version, damaged payload: still corrupt.
+        let err = parse_file(r#"{"schema_version": 2, "entries": {"k": {}}}"#).unwrap_err();
+        assert!(matches!(err, ParseError::Corrupt(_)), "{err:?}");
+        // A valid document truncated mid-stream: corrupt.
+        let text = render_file(&BTreeMap::from([(
+            "k".to_string(),
+            CheckpointEntry {
+                state: state(),
+                first_failure: None,
+                pruned_verify: 0,
+                pruned_model: 0,
+            },
+        )]));
+        let err = parse_file(&text[..text.len() / 2]).unwrap_err();
+        assert!(matches!(err, ParseError::Corrupt(_)), "{err:?}");
+    }
+
+    #[test]
+    fn corrupt_files_are_quarantined_and_stale_tmps_swept() {
+        let dir = std::env::temp_dir().join(format!("lift-ck-quar-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("damaged.json");
+        std::fs::write(&path, "{definitely not a checkpoint").unwrap();
+        // A stale temp file from a simulated mid-write crash.
+        std::fs::write(tmp_path(&path), "{half a docu").unwrap();
+        let mgr = CheckpointManager::at(&path, 1).expect("corruption must not be fatal");
+        assert!(!tmp_path(&path).exists(), "stale .tmp swept on startup");
+        let quarantined = {
+            let mut n = path.as_os_str().to_owned();
+            n.push(".corrupt-1");
+            PathBuf::from(n)
+        };
+        assert!(quarantined.exists(), "damaged file moved aside, not lost");
+        assert_eq!(
+            std::fs::read_to_string(&quarantined).unwrap(),
+            "{definitely not a checkpoint",
+            "quarantine preserves the damaged bytes for post-mortem"
+        );
+        assert!(mgr.lookup("k").is_none(), "manager starts fresh");
+        mgr.record("k", state(), None, 0, 0, 1);
+        mgr.flush().unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(parse_file(&text).unwrap().contains_key("k"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn quarantine_picks_the_first_free_slot() {
+        let dir = std::env::temp_dir().join(format!("lift-ck-slots-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ck.json");
+        let slot = |k: u32| {
+            let mut n = path.as_os_str().to_owned();
+            n.push(format!(".corrupt-{k}"));
+            PathBuf::from(n)
+        };
+        std::fs::write(slot(1), "earlier casualty").unwrap();
+        std::fs::write(&path, "fresh damage").unwrap();
+        let q = quarantine(&path).unwrap();
+        assert_eq!(q, slot(2), "slot 1 taken, so the next free one");
+        assert_eq!(
+            std::fs::read_to_string(slot(1)).unwrap(),
+            "earlier casualty"
+        );
+        assert_eq!(std::fs::read_to_string(slot(2)).unwrap(), "fresh damage");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

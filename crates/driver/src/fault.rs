@@ -1,0 +1,178 @@
+//! Deterministic fault injection for supervision tests (`LIFT_FAULT`).
+//!
+//! Long-running campaigns must survive workers that crash, hang or corrupt
+//! their checkpoints — and the supervisor that provides that survival has
+//! to be testable without flaky sleeps or real hardware faults. This seam
+//! injects the three failure classes *deterministically*, at well-defined
+//! points of the tuning loop, controlled by one environment variable:
+//!
+//! | `LIFT_FAULT=`                | effect                                       |
+//! |------------------------------|----------------------------------------------|
+//! | `exit-after:<k>`             | the process exits with [`FAULT_EXIT_CODE`] once `k` tuner tells have been applied (a crash mid-tune) |
+//! | `stall` / `stall-after:<k>`  | the tuning thread sleeps forever after `k` tells (a hung worker; only a kill ends it) |
+//! | `truncate-checkpoint:<k>`    | the `k`-th checkpoint write (1-based) writes a truncated file *directly over the target* — deliberately bypassing the atomic temp+rename path — and exits (a torn write by a dying machine) |
+//!
+//! The hooks are threaded through the two layers a real fault would hit:
+//! [`after_tells`] fires from the tuning loop (`tune_variant_batched`)
+//! after each batch of tells is applied and checkpointed, and
+//! [`sabotage_checkpoint_write`] fires from the checkpoint writer. Tells
+//! and writes are counted process-wide, so `exit-after:3` means "the third
+//! applied tell anywhere in this process" regardless of which variant or
+//! sweep cell produced it — exactly reproducible for a fixed seed and
+//! budget.
+//!
+//! An unset or empty `LIFT_FAULT` disables everything (the counters are
+//! never even consulted); an unparseable value is reported once on stderr
+//! and ignored rather than silently arming a half-understood fault.
+
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+/// The exit code of a process killed by an injected `exit-after` or
+/// `truncate-checkpoint` fault — distinct from every real exit code the
+/// harness uses, so a supervisor (or a test) can tell an injected crash
+/// from a genuine failure.
+pub const FAULT_EXIT_CODE: i32 = 86;
+
+/// One parsed fault plan (see the module docs for the syntax).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum FaultPlan {
+    /// Exit with [`FAULT_EXIT_CODE`] once this many tells were applied.
+    ExitAfterTells(u64),
+    /// Sleep forever once this many tells were applied.
+    StallAfterTells(u64),
+    /// Truncate the n-th checkpoint write (1-based) and exit.
+    TruncateCheckpointWrite(u64),
+}
+
+/// Parses a `LIFT_FAULT` plan string.
+pub(crate) fn parse_plan(s: &str) -> Result<FaultPlan, String> {
+    let (kind, arg) = match s.split_once(':') {
+        Some((k, a)) => (k, Some(a)),
+        None => (s, None),
+    };
+    let count = |arg: Option<&str>, default: u64| -> Result<u64, String> {
+        match arg {
+            None => Ok(default),
+            Some(a) => a
+                .parse::<u64>()
+                .map_err(|_| format!("`{a}` is not a non-negative integer")),
+        }
+    };
+    match kind {
+        "exit-after" => Ok(FaultPlan::ExitAfterTells(count(arg, 0)?)),
+        "stall" | "stall-after" => Ok(FaultPlan::StallAfterTells(count(arg, 0)?)),
+        "truncate-checkpoint" => {
+            let k = count(arg, 1)?;
+            if k == 0 {
+                return Err("truncate-checkpoint counts writes from 1".into());
+            }
+            Ok(FaultPlan::TruncateCheckpointWrite(k))
+        }
+        other => Err(format!(
+            "unknown fault `{other}`; use exit-after:<k>, stall[-after:<k>] or \
+             truncate-checkpoint:<k>"
+        )),
+    }
+}
+
+/// The plan armed for this process, resolved from `LIFT_FAULT` exactly
+/// once. `None` when the variable is unset, empty, or unparseable (the
+/// latter is reported on stderr — junk must not arm a surprise fault).
+fn active() -> Option<FaultPlan> {
+    static PLAN: OnceLock<Option<FaultPlan>> = OnceLock::new();
+    *PLAN.get_or_init(|| {
+        let raw = std::env::var("LIFT_FAULT").ok()?;
+        let raw = raw.trim();
+        if raw.is_empty() {
+            return None;
+        }
+        match parse_plan(raw) {
+            Ok(plan) => Some(plan),
+            Err(e) => {
+                eprintln!("lift-driver: ignoring invalid LIFT_FAULT `{raw}`: {e}");
+                None
+            }
+        }
+    })
+}
+
+/// Process-wide applied-tell counter (only advanced while a plan is armed).
+static TELLS: AtomicU64 = AtomicU64::new(0);
+/// Process-wide checkpoint-write counter (ditto).
+static CHECKPOINT_WRITES: AtomicU64 = AtomicU64::new(0);
+/// A stall fires once; racing tuner threads must not all announce it.
+static STALLED: AtomicBool = AtomicBool::new(false);
+
+/// Tuning-loop hook: `applied` more tells were just applied (and, when
+/// checkpointing is on, recorded). Fires `exit-after` / `stall` plans.
+pub(crate) fn after_tells(applied: usize) {
+    let Some(plan) = active() else { return };
+    let total = TELLS.fetch_add(applied as u64, Ordering::SeqCst) + applied as u64;
+    match plan {
+        FaultPlan::ExitAfterTells(k) if total >= k => {
+            eprintln!("lift-driver: injected fault: exiting after {total} applied tells");
+            std::process::exit(FAULT_EXIT_CODE);
+        }
+        FaultPlan::StallAfterTells(k) if total >= k => {
+            if !STALLED.swap(true, Ordering::SeqCst) {
+                eprintln!("lift-driver: injected fault: stalling after {total} applied tells");
+            }
+            loop {
+                std::thread::sleep(std::time::Duration::from_secs(3600));
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Checkpoint-writer hook, called with the fully-rendered document just
+/// before the atomic temp+rename write. When a `truncate-checkpoint` plan
+/// targets this write, the first half of the document is written *directly
+/// over* `path` — a torn write no atomic rename can produce on its own —
+/// and the process exits; otherwise this is a no-op and the caller
+/// proceeds with the normal atomic write.
+pub(crate) fn sabotage_checkpoint_write(path: &Path, rendered: &str) {
+    let Some(FaultPlan::TruncateCheckpointWrite(k)) = active() else {
+        return;
+    };
+    let n = CHECKPOINT_WRITES.fetch_add(1, Ordering::SeqCst) + 1;
+    if n == k {
+        let cut = rendered.len() / 2;
+        let _ = std::fs::write(path, &rendered.as_bytes()[..cut]);
+        eprintln!(
+            "lift-driver: injected fault: truncated checkpoint write {n} over {}",
+            path.display()
+        );
+        std::process::exit(FAULT_EXIT_CODE);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plans_parse_and_reject_junk() {
+        assert_eq!(parse_plan("exit-after:3"), Ok(FaultPlan::ExitAfterTells(3)));
+        assert_eq!(parse_plan("exit-after"), Ok(FaultPlan::ExitAfterTells(0)));
+        assert_eq!(parse_plan("stall"), Ok(FaultPlan::StallAfterTells(0)));
+        assert_eq!(
+            parse_plan("stall-after:7"),
+            Ok(FaultPlan::StallAfterTells(7))
+        );
+        assert_eq!(
+            parse_plan("truncate-checkpoint"),
+            Ok(FaultPlan::TruncateCheckpointWrite(1))
+        );
+        assert_eq!(
+            parse_plan("truncate-checkpoint:2"),
+            Ok(FaultPlan::TruncateCheckpointWrite(2))
+        );
+        assert!(parse_plan("truncate-checkpoint:0").is_err());
+        assert!(parse_plan("exit-after:x").is_err());
+        assert!(parse_plan("segfault").is_err());
+        assert!(parse_plan("stall-after:-1").is_err());
+    }
+}

@@ -81,12 +81,14 @@
 mod cache;
 mod checkpoint;
 mod error;
+mod fault;
 mod pipeline;
 mod tune;
 
 pub use cache::{CacheKey, CacheStats, KernelCache};
 pub use checkpoint::{CheckpointManager, CHECKPOINT_SCHEMA_VERSION};
 pub use error::LiftError;
+pub use fault::FAULT_EXIT_CODE;
 pub use lift_rewrite::strategy::{Tunable, Variant};
 pub use pipeline::{
     Budget, CompiledStencil, DeviceSession, Pipeline, TuneOptions, TuneOutcome, VariantSet,
@@ -374,21 +376,42 @@ mod tests {
     }
 
     #[test]
-    fn corrupt_checkpoint_is_a_clear_error_not_a_panic() {
+    fn corrupt_checkpoint_is_quarantined_not_fatal() {
         let dir = std::env::temp_dir().join(format!("lift-ck-bad-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("corrupt.json");
         std::fs::write(&path, "{not json").unwrap();
         let dev = VirtualDevice::new(DeviceProfile::k20c());
-        let err = Pipeline::for_benchmark("Jacobi2D5pt", &[18, 18])
+        // The damaged file is moved aside and the run restarts fresh —
+        // converging to the fault-free result, not failing hard.
+        let reference = Pipeline::for_benchmark("Jacobi2D5pt", &[18, 18])
             .unwrap()
             .explore()
             .unwrap()
             .on(&dev)
-            .tune_full(TuneOptions::evaluations(2).with_checkpoint(&path))
-            .expect_err("corrupt checkpoints fail loudly");
-        assert!(matches!(err, LiftError::Checkpoint(_)), "{err}");
-        assert!(err.to_string().contains("corrupt.json"), "{err}");
+            .tune_full(TuneOptions::evaluations(2).with_seed(4))
+            .expect("fault-free run tunes")
+            .report;
+        let recovered = Pipeline::for_benchmark("Jacobi2D5pt", &[18, 18])
+            .unwrap()
+            .explore()
+            .unwrap()
+            .on(&dev)
+            .tune_full(
+                TuneOptions::evaluations(2)
+                    .with_seed(4)
+                    .with_checkpoint(&path),
+            )
+            .expect("corruption is recovered from, not fatal")
+            .report;
+        assert_eq!(
+            report_fingerprint(&recovered),
+            report_fingerprint(&reference),
+            "a quarantined restart converges to the fault-free report"
+        );
+        let quarantined = dir.join("corrupt.json.corrupt-1");
+        assert!(quarantined.exists(), "damaged file preserved in quarantine");
+        assert_eq!(std::fs::read_to_string(&quarantined).unwrap(), "{not json");
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -752,6 +752,10 @@ fn tune_variant_batched(
                 tells,
             );
         }
+        // Fault-injection seam: fires *after* this batch is checkpointed,
+        // so an injected crash always dies with its completed work durable
+        // — the scenario checkpoint adoption exists to recover.
+        crate::fault::after_tells(tells);
     }
     // Record the finished search too, so a later process replays the
     // result instead of re-tuning a completed variant.

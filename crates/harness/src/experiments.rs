@@ -346,6 +346,35 @@ pub fn ablation_shard(
     Ok(ShardRows { cells, groups })
 }
 
+/// The benchmarks the ablation study sweeps (one 2D and one 3D stencil —
+/// enough to show every rewrite variant's contribution at both ranks).
+pub const ABLATION_BENCHES: [&str; 2] = ["Jacobi2D5pt", "Jacobi3D7pt"];
+
+/// Total grid cells of a shardable experiment, computed without running
+/// anything — the denominator a campaign needs to name its missing cells
+/// even when *no* shard managed to report. Mirrors the work-list
+/// construction of the corresponding `*_shard` function exactly. `None`
+/// for unknown experiments.
+pub fn experiment_cells(experiment: &str, ablation_benches: &[&str]) -> Option<usize> {
+    let devices = DeviceProfile::all();
+    match experiment {
+        "fig7" => Some(devices.len() * fig7_names().len()),
+        "fig8" => Some(
+            devices
+                .iter()
+                .map(|d| {
+                    // Large sizes are skipped on the ARM GPU, as in the paper.
+                    let sizes = if d.name.contains("Mali") { 1 } else { 2 };
+                    fig8_names().len() * sizes
+                })
+                .sum(),
+        ),
+        "ablation" => Some(devices.len() * ablation_benches.len()),
+        "bench" => Some(devices.len()),
+        _ => None,
+    }
+}
+
 /// One row of a single-benchmark report: the tuned best of one variant on
 /// one device (`winner` marks the per-device fastest).
 #[derive(Debug, Clone)]

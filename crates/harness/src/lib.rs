@@ -28,22 +28,25 @@
 
 #![forbid(unsafe_code)]
 
+pub mod campaign;
 pub mod compare;
 pub mod experiments;
 pub mod model;
 pub mod perf;
 pub mod report;
 
+pub use campaign::{run_campaign, CampaignOptions, CampaignReport};
 pub use compare::compare_docs;
 pub use experiments::{
-    ablation, ablation_shard, ablation_with, bench_one, bench_shard, fig7, fig7_shard, fig7_with,
-    fig8, fig8_shard, fig8_with, table1, validate_shard, verify_sweep, verify_sweep_with,
-    AblationRow, BenchRow, Fig7Row, Fig8Row, Shard, ShardRows, Table1Row, VerifyRow,
+    ablation, ablation_shard, ablation_with, bench_one, bench_shard, experiment_cells, fig7,
+    fig7_shard, fig7_with, fig8, fig8_shard, fig8_with, table1, validate_shard, verify_sweep,
+    verify_sweep_with, AblationRow, BenchRow, Fig7Row, Fig8Row, Shard, ShardRows, Table1Row,
+    VerifyRow, ABLATION_BENCHES,
 };
 pub use lift_driver::{BenchResult, LiftError, Pipeline, TunedVariant};
 pub use lift_tuner::parallel_map;
 pub use model::{model_report, model_report_with, ModelReport};
-pub use report::merge_parts;
+pub use report::{merge_available, merge_parts};
 
 /// The tuning budget per variant/device pair.
 pub fn tune_budget() -> usize {

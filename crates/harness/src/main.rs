@@ -24,6 +24,8 @@
 //! lift-harness --json --shard 0/3 fig7 > p0.json # one worker's share
 //! lift-harness merge p0.json p1.json p2.json     # == single-process --json
 //! lift-harness --json --spawn-workers 3 fig7     # shard + merge in one go
+//! lift-harness campaign fig7 --workers 3         # supervised: retry, timeout,
+//!                                                # checkpoint adoption
 //! ```
 //!
 //! `--threads N` (equivalently `LIFT_TUNE_THREADS=N`) fans the benchmark ×
@@ -36,9 +38,18 @@
 //! from the file and prints exactly what the uninterrupted run would
 //! have. None of the three ever changes results — only wall-clock.
 //!
+//! `campaign` is the fault-tolerant big sibling of `--spawn-workers`: a
+//! supervision loop drives the shard queue through worker slots with
+//! liveness timeouts, bounded retries with backoff, and checkpoint
+//! adoption — a replacement worker resumes its dead predecessor's
+//! `<path>.shard<i>of<n>` file, so even a faulted campaign's merged
+//! report is byte-identical to the fault-free single-process run.
+//!
 //! Exit codes: 0 on success, 1 when an experiment fails (e.g. no valid
-//! configuration for a benchmark — a broken compiler must fail CI), 2 for
-//! usage errors.
+//! configuration for a benchmark — a broken compiler must fail CI) or a
+//! `compare` finds a regression, 2 for usage errors, 3 when
+//! infrastructure fails (a shard worker dies or a campaign shard exhausts
+//! its retries — the experiment itself may be fine, rerun or adopt).
 
 #![forbid(unsafe_code)]
 
@@ -50,9 +61,8 @@ use lift_harness::report::{
 use lift_harness::{
     ablation_shard, ablation_with, bench_one, bench_shard, fig7_shard, fig7_with, fig8_shard,
     fig8_with, parallel_map, table1, threads, validate_shard, verify_sweep, LiftError, Shard,
+    ABLATION_BENCHES,
 };
-
-const ABLATION_BENCHES: [&str; 2] = ["Jacobi2D5pt", "Jacobi3D7pt"];
 
 const USAGE: &str = "\
 lift-harness — regenerate the paper's tables and figures
@@ -60,6 +70,15 @@ lift-harness — regenerate the paper's tables and figures
 USAGE:
     lift-harness [FLAGS] [table1|fig7|fig8|ablation|bench <name>|all]
     lift-harness merge <part.json>...
+    lift-harness campaign <fig7|fig8|ablation|bench <name>> [OPTIONS]
+                                    (supervised sharded sweep: a work queue
+                                     of shards driven through worker slots
+                                     with liveness timeouts, bounded
+                                     retries + backoff, and checkpoint
+                                     adoption — dead workers' successors
+                                     resume their checkpoints, keeping the
+                                     merged report byte-identical to a
+                                     fault-free single-process run)
     lift-harness perf [--json]      (writes BENCH_sim.json: fig7 sweep wall
                                      time under both simulator engines +
                                      per-kernel launch microbenchmarks)
@@ -98,8 +117,35 @@ FLAGS:
     --list-benchmarks     list benchmark names, ranks and domain sizes
     -h, --help            this help
 
-Sharding, checkpointing and threading never change results: any
-combination reproduces the single-process, single-thread output
+CAMPAIGN OPTIONS (campaign <experiment> only):
+    --workers <N>         concurrent worker slots (default 2)
+    --shards <M>          work-queue shards (default: --workers)
+    --timeout <SECS>      kill a worker after SECS without checkpoint
+                          progress and requeue its shard (default 600)
+    --retries <K>         re-runs allowed per shard beyond the first
+                          attempt (default 2); an exhausted shard leaves
+                          a partial report + missing-cell manifest and
+                          exit code 3
+    --summary <PATH>      write the machine-readable campaign summary
+                          (per-shard attempts/retries/adoptions/timeouts/
+                          quarantines/wall time) to PATH
+    --fault <i:PLAN>      inject LIFT_FAULT=PLAN into shard i's first
+                          attempt (repeatable; plans: exit-after:<k>,
+                          stall[-after:<k>], truncate-checkpoint:<k>) —
+                          deterministic chaos testing of the supervisor
+
+EXIT CODES:
+    0   success
+    1   experiment failure (no valid configuration, verifier finding,
+        model gate) or a `compare` regression
+    2   command-line misuse
+    3   infrastructure failure: a shard worker died, or a campaign shard
+        exhausted its retries (partial report + missing-cell manifest
+        were still emitted)
+
+Sharding, checkpointing, threading and campaign supervision never change
+results: any combination — including workers killed and resumed through
+checkpoint adoption — reproduces the single-process, single-thread output
 byte-for-byte for the same seed.
 
 ENVIRONMENT:
@@ -114,7 +160,16 @@ ENVIRONMENT:
                           domination threshold k (default 1.0). Never
                           changes tuning results, only how many simulator
                           evaluations reach them.
+    LIFT_FAULT            deterministic fault injection (testing only):
+                          exit-after:<k> | stall[-after:<k>] |
+                          truncate-checkpoint:<k>. Injected processes
+                          exit with code 86.
 ";
+
+/// Exit code for infrastructure failures (dead shard workers, campaign
+/// shards out of retries) — distinct from experiment failures (1) and
+/// CLI misuse (2) so CI can retry infra without masking regressions.
+const EXIT_INFRA: i32 = 3;
 
 /// Renders one experiment to its output document, sweeping on up to
 /// `thread_budget` workers.
@@ -202,10 +257,19 @@ fn spawn_workers(n: usize, cmd: &str, bench_name: Option<&str>, large: bool) -> 
             c.arg("--large");
         }
         c.stdout(std::process::Stdio::piped());
-        let child = c
-            .spawn()
-            .map_err(|e| format!("cannot spawn shard {i}/{n}: {e}"))?;
-        children.push((i, child));
+        c.stderr(std::process::Stdio::piped());
+        match c.spawn() {
+            Ok(child) => children.push((i, child)),
+            Err(e) => {
+                // Kill and reap the workers already launched: a failed
+                // spawn must not leave orphans 0..i tuning into the void.
+                for (_, mut orphan) in children {
+                    let _ = orphan.kill();
+                    let _ = orphan.wait();
+                }
+                return Err(format!("cannot spawn shard {i}/{n}: {e}"));
+            }
+        }
     }
     let mut parts = Vec::new();
     let mut failed = false;
@@ -213,9 +277,12 @@ fn spawn_workers(n: usize, cmd: &str, bench_name: Option<&str>, large: bool) -> 
         let out = child
             .wait_with_output()
             .map_err(|e| format!("shard {i}/{n} did not finish: {e}"))?;
+        // Relay the worker's stderr under an attributable prefix rather
+        // than letting n workers interleave raw on the shared stream.
+        for line in String::from_utf8_lossy(&out.stderr).lines() {
+            eprintln!("lift-harness: shard {i}/{n}: {line}");
+        }
         if !out.status.success() {
-            // The worker already printed its diagnosis to our inherited
-            // stderr.
             eprintln!("lift-harness: shard worker {i}/{n} failed ({})", out.status);
             failed = true;
             continue;
@@ -229,6 +296,121 @@ fn spawn_workers(n: usize, cmd: &str, bench_name: Option<&str>, large: bool) -> 
     }
     print!("{}", merge_parts(&parts)?);
     Ok(())
+}
+
+/// Parses `campaign` arguments, runs the supervised sweep, and exits:
+/// 0 when every shard completed (stdout carries the merged document,
+/// byte-identical to the single-process `--json` run), [`EXIT_INFRA`]
+/// when a shard exhausted its retries (stdout still carries the partial
+/// document; stderr and the summary carry the missing-cell manifest),
+/// 2 on misuse.
+#[allow(clippy::too_many_arguments)]
+fn run_campaign_cmd(
+    args: &[String],
+    large: bool,
+    workers: Option<&str>,
+    shards: Option<&str>,
+    timeout: Option<&str>,
+    retries: Option<&str>,
+    summary: Option<&str>,
+    faults: &[String],
+    conflicting_mode: bool,
+) -> ! {
+    if conflicting_mode {
+        usage_error("campaign supervises its own workers; drop --shard/--spawn-workers");
+    }
+    let Some(experiment) = args.first() else {
+        usage_error("campaign needs an experiment: campaign <fig7|fig8|ablation|bench <name>>");
+    };
+    if !matches!(experiment.as_str(), "fig7" | "fig8" | "ablation" | "bench") {
+        usage_error(&format!(
+            "campaign cannot run `{experiment}`; use fig7|fig8|ablation|bench <name>"
+        ));
+    }
+    let mut opts = lift_harness::CampaignOptions::new(experiment);
+    opts.large = large;
+    if experiment == "bench" {
+        let Some(name) = args.get(1) else {
+            usage_error("campaign bench needs a benchmark name");
+        };
+        opts.bench = Some(name.clone());
+        if args.len() > 2 {
+            usage_error(&format!("unexpected argument `{}`", args[2]));
+        }
+    } else {
+        if args.len() > 1 {
+            usage_error(&format!("unexpected argument `{}`", args[1]));
+        }
+        if large {
+            usage_error("--large only applies to `campaign bench <name>`");
+        }
+    }
+    let positive = |flag: &str, v: &str| -> usize {
+        match v.parse::<usize>() {
+            Ok(n) if n > 0 => n,
+            _ => usage_error(&format!("{flag} needs a positive integer, got `{v}`")),
+        }
+    };
+    if let Some(v) = workers {
+        opts.workers = positive("--workers", v);
+    }
+    opts.shards = match shards {
+        Some(v) => positive("--shards", v),
+        None => opts.workers,
+    };
+    if let Some(v) = timeout {
+        opts.timeout = std::time::Duration::from_secs(positive("--timeout", v) as u64);
+    }
+    if let Some(v) = retries {
+        opts.retries = v.parse::<usize>().unwrap_or_else(|_| {
+            usage_error(&format!(
+                "--retries needs a non-negative integer, got `{v}`"
+            ))
+        });
+    }
+    for f in faults {
+        let parsed = f.split_once(':').and_then(|(i, plan)| {
+            i.parse::<usize>()
+                .ok()
+                .filter(|i| *i < opts.shards)
+                .map(|i| (i, plan.to_string()))
+        });
+        let Some(pair) = parsed else {
+            usage_error(&format!(
+                "--fault needs <shard>:<plan> with shard < {}, got `{f}`",
+                opts.shards
+            ));
+        };
+        opts.faults.push(pair);
+    }
+    if let Ok(base) = std::env::var("LIFT_CHECKPOINT") {
+        if !base.is_empty() {
+            opts.checkpoint = Some(std::path::PathBuf::from(base));
+        }
+    }
+    let report = match lift_harness::run_campaign(&opts) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("lift-harness: {e}");
+            std::process::exit(1);
+        }
+    };
+    if let Some(path) = summary {
+        if let Err(e) = std::fs::write(path, &report.summary) {
+            eprintln!("lift-harness: cannot write summary {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+    eprint!("{}", report.render_summary());
+    print!("{}", report.document);
+    if !report.complete {
+        eprintln!(
+            "lift-harness: campaign incomplete: cells {:?} missing after retries; exit {EXIT_INFRA}",
+            report.missing_cells
+        );
+        std::process::exit(EXIT_INFRA);
+    }
+    std::process::exit(0);
 }
 
 /// Reads and merges partial reports from files.
@@ -336,8 +518,26 @@ fn main() {
     let mut checkpoint_flag: Option<String> = None;
     let mut shard_flag: Option<String> = None;
     let mut workers_flag: Option<String> = None;
+    let mut campaign_workers_flag: Option<String> = None;
+    let mut shards_flag: Option<String> = None;
+    let mut timeout_flag: Option<String> = None;
+    let mut retries_flag: Option<String> = None;
+    let mut summary_flag: Option<String> = None;
+    let mut fault_flags: Vec<String> = Vec::new();
     let mut expect_value: Option<&'static str> = None;
     let mut positional: Vec<String> = Vec::new();
+    const VALUE_FLAGS: [&str; 10] = [
+        "--threads",
+        "--checkpoint",
+        "--shard",
+        "--spawn-workers",
+        "--workers",
+        "--shards",
+        "--timeout",
+        "--retries",
+        "--summary",
+        "--fault",
+    ];
     for arg in std::env::args().skip(1) {
         if let Some(flag) = expect_value.take() {
             match flag {
@@ -345,6 +545,12 @@ fn main() {
                 "--checkpoint" => checkpoint_flag = Some(arg),
                 "--shard" => shard_flag = Some(arg),
                 "--spawn-workers" => workers_flag = Some(arg),
+                "--workers" => campaign_workers_flag = Some(arg),
+                "--shards" => shards_flag = Some(arg),
+                "--timeout" => timeout_flag = Some(arg),
+                "--retries" => retries_flag = Some(arg),
+                "--summary" => summary_flag = Some(arg),
+                "--fault" => fault_flags.push(arg),
                 _ => unreachable!(),
             }
             continue;
@@ -357,13 +563,13 @@ fn main() {
                 print!("{USAGE}");
                 return;
             }
-            f @ ("--threads" | "--checkpoint" | "--shard" | "--spawn-workers") => {
-                expect_value = Some(match f {
-                    "--threads" => "--threads",
-                    "--checkpoint" => "--checkpoint",
-                    "--shard" => "--shard",
-                    _ => "--spawn-workers",
-                });
+            f if VALUE_FLAGS.contains(&f) => {
+                expect_value = Some(
+                    VALUE_FLAGS
+                        .iter()
+                        .find(|v| **v == f)
+                        .expect("contains checked"),
+                );
             }
             other => positional.push(other.to_string()),
         }
@@ -429,6 +635,31 @@ fn main() {
         .first()
         .cloned()
         .unwrap_or_else(|| "all".to_string());
+
+    if cmd == "campaign" {
+        run_campaign_cmd(
+            &positional[1..],
+            large,
+            campaign_workers_flag.as_deref(),
+            shards_flag.as_deref(),
+            timeout_flag.as_deref(),
+            retries_flag.as_deref(),
+            summary_flag.as_deref(),
+            &fault_flags,
+            shard.is_some() || workers_flag.is_some(),
+        );
+    }
+    if campaign_workers_flag.is_some()
+        || shards_flag.is_some()
+        || timeout_flag.is_some()
+        || retries_flag.is_some()
+        || summary_flag.is_some()
+        || !fault_flags.is_empty()
+    {
+        usage_error(
+            "--workers/--shards/--timeout/--retries/--summary/--fault apply to `campaign` only",
+        );
+    }
 
     if cmd == "merge" {
         let files = &positional[1..];
@@ -587,7 +818,9 @@ fn main() {
         }
         if let Err(e) = spawn_workers(n, &cmd, bench_name.as_deref(), large) {
             eprintln!("lift-harness: {e}");
-            std::process::exit(1);
+            // Dead or unmergeable workers are an infrastructure failure,
+            // not an experiment failure: the sweep itself may be fine.
+            std::process::exit(EXIT_INFRA);
         }
         return;
     }

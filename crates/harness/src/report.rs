@@ -294,18 +294,35 @@ pub fn partial_bench(
     )
 }
 
-/// Recombines a complete set of partial shard reports into the JSON
-/// document the single-process `--json` run would have printed,
-/// byte-identically.
-///
-/// # Errors
-///
-/// A human-readable message when the parts are not a complete, consistent
-/// set: a part fails to parse or carries a different schema version, the
-/// parts name different experiments, shard counts or cell totals, two
-/// parts cover the same cell, or a cell is missing (a shard was not run
-/// or its file was not passed).
-pub fn merge_parts(parts: &[(String, String)]) -> Result<String, String> {
+/// A parsed, validated, cell-sorted set of partial shard reports —
+/// possibly incomplete. [`merge_parts`] demands completeness on top;
+/// [`merge_available`] assembles whatever cells are present.
+struct PartSet {
+    /// The sweep's total cell count (consistent across all parts).
+    cells: u64,
+    /// `(cell, pre-rendered rows)`, sorted by cell, each cell once.
+    groups: Vec<(u64, Vec<String>)>,
+}
+
+impl PartSet {
+    /// The global cell indices no part covered.
+    fn missing(&self) -> Vec<u64> {
+        let present: std::collections::BTreeSet<u64> =
+            self.groups.iter().map(|(c, _)| *c).collect();
+        (0..self.cells).filter(|c| !present.contains(c)).collect()
+    }
+
+    /// The merged JSON array of every present cell's rows, in cell order
+    /// — byte-identical to the single-process document when complete.
+    fn document(self) -> String {
+        json_array(self.groups.into_iter().flat_map(|(_, rows)| rows))
+    }
+}
+
+/// Parses and cross-validates partial shard reports: schema version,
+/// matching experiment/shard_count/cells, no cell covered twice. Does
+/// **not** require completeness — that is [`merge_parts`]'s extra demand.
+fn parse_parts(parts: &[(String, String)]) -> Result<PartSet, String> {
     if parts.is_empty() {
         return Err("no partial reports to merge".into());
     }
@@ -379,25 +396,69 @@ pub fn merge_parts(parts: &[(String, String)]) -> Result<String, String> {
     }
     groups.sort_by_key(|(cell, _, _)| *cell);
     let total = cells.expect("set by the first part");
-    for (i, (cell, _, origin)) in groups.iter().enumerate() {
-        if *cell != i as u64 {
-            return Err(if *cell < i as u64 {
-                format!("cell {cell} appears twice (second time in {origin})")
-            } else {
-                format!(
-                    "cell {i} is missing; pass every shard's file ({} of {total} cells present)",
-                    groups.len()
-                )
-            });
+    for pair in groups.windows(2) {
+        let (cell, _, _) = &pair[0];
+        let (next, _, origin) = &pair[1];
+        if cell == next {
+            return Err(format!(
+                "cell {cell} appears twice (second time in {origin})"
+            ));
         }
     }
-    if groups.len() != total as usize {
+    if let Some((cell, _, origin)) = groups.iter().find(|(c, _, _)| *c >= total) {
         return Err(format!(
-            "expected {total} cells, got {}; pass every shard's file",
-            groups.len()
+            "{origin}: cell {cell} is out of range for a {total}-cell sweep"
         ));
     }
-    Ok(json_array(groups.into_iter().flat_map(|(_, rows, _)| rows)))
+    Ok(PartSet {
+        cells: total,
+        groups: groups
+            .into_iter()
+            .map(|(cell, rows, _)| (cell, rows))
+            .collect(),
+    })
+}
+
+/// Recombines a complete set of partial shard reports into the JSON
+/// document the single-process `--json` run would have printed,
+/// byte-identically.
+///
+/// # Errors
+///
+/// A human-readable message when the parts are not a complete, consistent
+/// set: a part fails to parse or carries a different schema version, the
+/// parts name different experiments, shard counts or cell totals, two
+/// parts cover the same cell, or a cell is missing (a shard was not run
+/// or its file was not passed).
+pub fn merge_parts(parts: &[(String, String)]) -> Result<String, String> {
+    let set = parse_parts(parts)?;
+    let missing = set.missing();
+    if let Some(cell) = missing.first() {
+        return Err(format!(
+            "cell {cell} is missing; pass every shard's file ({} of {} cells present)",
+            set.groups.len(),
+            set.cells
+        ));
+    }
+    Ok(set.document())
+}
+
+/// Recombines whatever partial shard reports are available into the
+/// best-possible document — the graceful-degradation path for a campaign
+/// whose shard exhausted its retries. Returns the merged JSON array of
+/// every *present* cell's rows (in cell order; byte-identical to the
+/// single-process document when nothing is missing) plus the manifest of
+/// missing global cell indices.
+///
+/// # Errors
+///
+/// The same consistency errors as [`merge_parts`] (unparseable parts,
+/// mixed experiments, duplicate cells) — only *missing* cells are
+/// tolerated.
+pub fn merge_available(parts: &[(String, String)]) -> Result<(String, Vec<u64>), String> {
+    let set = parse_parts(parts)?;
+    let missing = set.missing();
+    Ok((set.document(), missing))
 }
 
 /// Renders a single-benchmark report: per device, every tuned variant with
@@ -661,6 +722,38 @@ mod tests {
         let merged = merge_parts(&[("p.json".into(), partial_fig8((0, 1), &empty_ok))])
             .expect("empty cells merge");
         assert_eq!(merged, json_fig8(&[]));
+    }
+
+    #[test]
+    fn merge_available_tolerates_only_missing_cells() {
+        let rows = fake_fig7(6);
+        let parts = shards_of(&rows, 3);
+        // Complete set: same bytes as the strict merge, nothing missing.
+        let (doc, missing) = merge_available(&parts).expect("complete set merges");
+        assert_eq!(doc, json_fig7(&rows));
+        assert!(missing.is_empty());
+        // Drop shard 1 (cells 1 and 4): the document keeps the rest in
+        // cell order and the manifest names exactly the lost cells.
+        let partial: Vec<_> = parts
+            .iter()
+            .filter(|(name, _)| name != "part1.json")
+            .cloned()
+            .collect();
+        let (doc, missing) = merge_available(&partial).expect("incomplete set still merges");
+        assert_eq!(missing, vec![1, 4]);
+        let survivors: Vec<Fig7Row> = rows
+            .iter()
+            .enumerate()
+            .filter(|(c, _)| c % 3 != 1)
+            .map(|(_, r)| r.clone())
+            .collect();
+        assert_eq!(doc, json_fig7(&survivors));
+        // Corruption and duplicates are still hard errors — only
+        // missing cells are tolerated.
+        let mut dup = partial.clone();
+        dup.push(partial[0].clone());
+        assert!(merge_available(&dup).unwrap_err().contains("twice"));
+        assert!(merge_available(&[("x".into(), "junk".into())]).is_err());
     }
 
     #[test]

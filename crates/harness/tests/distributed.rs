@@ -62,6 +62,34 @@ fn spawn_workers_matches_the_single_process_run() {
 }
 
 #[test]
+fn spawn_workers_failure_is_an_infra_exit_with_attributable_stderr() {
+    // Every worker inherits the injected fault and dies; the parent must
+    // report the infrastructure exit code (3, distinct from experiment
+    // failures) and relay each worker's stderr under a `shard i/n:`
+    // prefix so the diagnosis stays attributable.
+    let out = bin()
+        .args(["--json", "--spawn-workers", "2", "bench", BENCH])
+        .env("LIFT_FAULT", "exit-after:0")
+        .output()
+        .expect("binary runs");
+    assert_eq!(
+        out.status.code(),
+        Some(3),
+        "stderr:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("shard 0/2:"),
+        "attributed worker stderr:\n{err}"
+    );
+    assert!(
+        err.contains("shard 1/2:"),
+        "attributed worker stderr:\n{err}"
+    );
+}
+
+#[test]
 fn killed_checkpointed_run_resumes_byte_identically() {
     let dir = tmp_dir("resume");
     let ck = dir.join("ck.json");

@@ -90,6 +90,14 @@ impl Value {
         }
     }
 
+    /// The boolean payload (`None` for non-booleans).
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// The string payload (`None` for non-strings).
     pub fn as_str(&self) -> Option<&str> {
         match self {
